@@ -1,0 +1,65 @@
+// Command hle-bench regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	hle-bench -list
+//	hle-bench -fig 3.1 [-quick] [-threads 8] [-budget 2000000] [-seed 1]
+//	hle-bench -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hle/internal/figures"
+)
+
+func main() {
+	var (
+		figID   = flag.String("fig", "", "figure id to run (see -list)")
+		all     = flag.Bool("all", false, "run every figure")
+		list    = flag.Bool("list", false, "list available figures")
+		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		threads = flag.Int("threads", 8, "simulated hardware threads")
+		budget  = flag.Uint64("budget", 0, "virtual-cycle budget per measurement (0 = default)")
+		seed    = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	)
+	flag.Parse()
+
+	opts := figures.Options{
+		Threads: *threads,
+		Budget:  *budget,
+		Quick:   *quick,
+		Seed:    *seed,
+	}
+
+	switch {
+	case *list:
+		for _, f := range figures.All() {
+			fmt.Printf("%-8s %s\n", f.ID, f.Title)
+		}
+	case *all:
+		figures.RunAll(os.Stdout, opts)
+	case *figID != "":
+		f := figures.ByID(*figID)
+		if f == nil {
+			fmt.Fprintf(os.Stderr, "hle-bench: unknown figure %q (try -list)\n", *figID)
+			os.Exit(1)
+		}
+		fmt.Printf("### Figure %s — %s\n\n", f.ID, f.Title)
+		for _, tb := range f.Run(opts) {
+			if *csv {
+				tb.FprintCSV(os.Stdout)
+			} else {
+				tb.Fprint(os.Stdout)
+			}
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Command hle-demo runs a configurable lock-elision demonstration: N
+// threads over a red-black tree protected by one global lock, under a
+// chosen lock and scheme, printing throughput, abort breakdown, and
+// time-sliced serialization dynamics.
+//
+// Usage:
+//
+//	hle-demo -lock MCS -scheme HLE -threads 8 -size 128 -updates 20
+//	hle-demo -lock MCS -scheme HLE-SCM ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hle/internal/core"
+	"hle/internal/harness"
+	"hle/internal/stats"
+	"hle/internal/tsx"
+)
+
+func main() {
+	var (
+		lock    = flag.String("lock", "MCS", "lock: TTAS, MCS, Ticket, AdjTicket, CLH, AdjCLH")
+		scheme  = flag.String("scheme", "HLE", "scheme: Standard, HLE, HLE-HWExt, RTM-LE, HLE-SCM, HLE-SCM-multi, Pes-SLR, Opt-SLR, Opt-SLR-SCM")
+		threads = flag.Int("threads", 8, "simulated hardware threads")
+		size    = flag.Int("size", 128, "red-black tree size")
+		updates = flag.Int("updates", 20, "update percentage (split evenly insert/delete)")
+		budget  = flag.Uint64("budget", 2_000_000, "virtual-cycle budget")
+		seed    = flag.Int64("seed", 1, "random seed")
+		hwext   = flag.Bool("hwext", false, "enable the Chapter 7 hardware extension")
+	)
+	flag.Parse()
+
+	cfg := tsx.DefaultConfig(*threads)
+	cfg.Seed = *seed
+	cfg.MemWords = *size*16 + 1<<16
+	cfg.HWExt = *hwext
+
+	mix := harness.Mix{InsertPct: *updates / 2, DeletePct: *updates / 2}
+	m := tsx.NewMachine(cfg)
+	var w harness.Workload
+	var s core.Scheme
+	m.RunOne(func(t *tsx.Thread) {
+		w = harness.NewRBTree(t, *size, mix)
+		w.Populate(t)
+		spec := harness.SchemeSpec{Scheme: *scheme, Lock: *lock}
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintf(os.Stderr, "hle-demo: %v\n", r)
+				os.Exit(1)
+			}
+		}()
+		s = spec.Build(t)
+	})
+	res := harness.Run(m, s, w, harness.Config{
+		Threads:     *threads,
+		CycleBudget: *budget,
+		SliceCycles: *budget / 40,
+	})
+
+	fmt.Printf("workload: %s, %d threads, %s %s lock, %d virtual cycles\n\n",
+		w.Name(), *threads, *scheme, *lock, *budget)
+	fmt.Printf("operations           %10d\n", res.Ops.Ops)
+	fmt.Printf("throughput           %10.1f ops/Mcycle\n", res.Throughput)
+	fmt.Printf("attempts/op          %10.2f\n", res.Ops.AttemptsPerOp())
+	fmt.Printf("non-spec fraction    %10.3f\n", res.Ops.NonSpecFraction())
+	fmt.Printf("transactions begun   %10d\n", res.TSX.Begun)
+	fmt.Printf("transactions commit  %10d\n", res.TSX.Committed)
+	fmt.Printf("aborts               %10d\n", res.TSX.TotalAborts())
+	for c := tsx.CauseConflict; c <= tsx.CauseHLERestore; c++ {
+		if n := res.TSX.Aborted[c]; n > 0 {
+			fmt.Printf("  %-18s %10d\n", c.String(), n)
+		}
+	}
+	fmt.Println("\nserialization dynamics (non-spec fraction per slot):")
+	fmt.Printf("  [%s]\n", stats.Sparkline(res.Timeline.NonSpecFractions(), 1))
+	fmt.Println("throughput per slot (normalized to mean):")
+	fmt.Printf("  [%s]\n", stats.Sparkline(res.Timeline.NormalizedOps(), 2))
+}

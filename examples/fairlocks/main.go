@@ -1,0 +1,72 @@
+// fairlocks: Chapter 6 in action. The classic ticket and CLH locks cannot
+// be elided — their release does not restore the lock word, so HLE's
+// XRELEASE check would abort every transaction — while the paper's adjusted
+// versions elide cleanly and keep their fairness on the non-speculative
+// path.
+//
+// The example shows (1) elision success rates for all four locks plus MCS,
+// and (2) that under the adjusted locks a burst of non-speculative
+// acquisitions is still served FIFO.
+package main
+
+import (
+	"fmt"
+
+	"hle"
+)
+
+func main() {
+	const threads = 8
+	const opsPerThread = 1000
+
+	fmt.Printf("%-10s %14s %14s %12s\n", "lock", "spec ops", "non-spec ops", "spec frac")
+	for _, mk := range []struct {
+		name  string
+		build func(t *hle.Thread) hle.Lock
+	}{
+		{"MCS", hle.NewMCSLock},
+		{"Ticket", hle.NewTicketLock},
+		{"AdjTicket", hle.NewAdjustedTicketLock},
+		{"CLH", hle.NewCLHLock},
+		{"AdjCLH", hle.NewAdjustedCLHLock},
+	} {
+		sys := hle.NewSystem(threads, hle.WithSeed(5))
+		var scheme hle.Scheme
+		var cells [threads]hle.Addr
+		sys.Init(func(t *hle.Thread) {
+			scheme = hle.Elide(mk.build(t))
+			for i := range cells {
+				cells[i] = t.AllocLines(1)
+			}
+		})
+		// Disjoint per-thread data: a perfectly elidable workload.
+		sys.Parallel(threads, func(t *hle.Thread) {
+			scheme.Setup(t)
+			for i := 0; i < opsPerThread; i++ {
+				scheme.Run(t, func() {
+					v := t.Load(cells[t.ID])
+					t.Work(5)
+					t.Store(cells[t.ID], v+1)
+				})
+			}
+		})
+		st := scheme.TotalStats()
+		fmt.Printf("%-10s %14d %14d %11.1f%%\n",
+			mk.name, st.Spec, st.NonSpec, 100*float64(st.Spec)/float64(st.Ops))
+	}
+
+	fmt.Println("\nFIFO order under the adjusted ticket lock (staggered arrivals):")
+	sys := hle.NewSystem(4, hle.WithSeed(9))
+	var lock hle.Lock
+	sys.Init(func(t *hle.Thread) { lock = hle.NewAdjustedTicketLock(t) })
+	var service []int
+	sys.Parallel(4, func(t *hle.Thread) {
+		lock.Prepare(t)
+		t.Work(uint64(t.ID) * 2000) // arrive in ID order
+		lock.Acquire(t)
+		service = append(service, t.ID)
+		t.Work(10_000) // hold long enough that everyone queues
+		lock.Release(t)
+	})
+	fmt.Printf("service order: %v (arrival order was [0 1 2 3])\n", service)
+}

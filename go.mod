@@ -1,0 +1,3 @@
+module hle
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package hle is a faithful, simulator-backed reproduction of
+// "Programming with Hardware Lock Elision" (Afek, Levy, Morrison;
+// PPoPP 2013): hardware lock elision, its avalanche pathology, and the
+// paper's software-assisted conflict management (SCM) and lock removal
+// (SLR) schemes, together with HLE-compatible fair locks and the Chapter 7
+// hardware extension.
+//
+// Because Go exposes no TSX intrinsics (and post-2021 Intel parts fuse HLE
+// off), the package runs on a deterministic, cycle-approximate simulation
+// of a Haswell-like multicore: word-addressable memory with 64-byte cache
+// lines, per-line transactional read/write sets, requestor-wins conflict
+// management, capacity and spurious aborts, and XACQUIRE/XRELEASE and
+// XBEGIN/XEND/XABORT semantics. Everything the paper measures — the
+// avalanche effect, SCM's rescue, the fair-lock adjustments — emerges from
+// those protocol rules rather than being scripted.
+//
+// # Quick start
+//
+//	sys := hle.NewSystem(8, hle.WithSeed(42))
+//	var lock hle.Lock
+//	var counter hle.Addr
+//	var scheme hle.Scheme
+//	sys.Init(func(t *hle.Thread) {
+//		lock = hle.NewMCSLock(t)
+//		counter = t.AllocLines(1)
+//		scheme = hle.ElideWithSCM(lock, hle.NewMCSLock(t))
+//	})
+//	sys.Parallel(8, func(t *hle.Thread) {
+//		scheme.Setup(t)
+//		for i := 0; i < 1000; i++ {
+//			scheme.Run(t, func() {
+//				t.Store(counter, t.Load(counter)+1)
+//			})
+//		}
+//	})
+//
+// Critical sections are closures because simulated hardware rollback
+// re-executes them; they must touch shared state only through the
+// simulated-memory operations on Thread, which are rolled back exactly.
+package hle
+
+import (
+	"hle/internal/core"
+	"hle/internal/hwext"
+	"hle/internal/locks"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Re-exported fundamental types. A Thread is one simulated hardware
+// thread; all simulated memory access goes through it. An Addr is a
+// simulated memory address (a 64-bit-word index); Addr 0 is nil.
+type (
+	// Thread is a simulated hardware thread with TSX state.
+	Thread = tsx.Thread
+	// Addr is a simulated memory address.
+	Addr = mem.Addr
+	// Lock is a mutual-exclusion lock in simulated memory with standard
+	// and speculative (elidable) paths.
+	Lock = locks.Lock
+	// Scheme executes critical sections over a lock: plain locking,
+	// hardware lock elision, SCM, or lock removal.
+	Scheme = core.Scheme
+	// Result describes how one critical-section execution completed.
+	Result = core.Result
+	// OpStats aggregates per-operation statistics.
+	OpStats = core.OpStats
+	// MachineConfig exposes the full simulated-machine configuration
+	// for advanced use.
+	MachineConfig = tsx.Config
+)
+
+// System is a simulated multicore machine with TSX support.
+type System struct {
+	m *tsx.Machine
+}
+
+// SystemOption customizes a System.
+type SystemOption func(*tsx.Config)
+
+// WithSeed fixes the random seed; equal seeds give bit-identical runs.
+func WithSeed(seed int64) SystemOption {
+	return func(c *tsx.Config) { c.Seed = seed }
+}
+
+// WithMemory sets the initial simulated memory size in 64-bit words.
+func WithMemory(words int) SystemOption {
+	return func(c *tsx.Config) { c.MemWords = words }
+}
+
+// WithHardwareExtension enables the paper's Chapter 7 proposal:
+// lock-line conflicts suspend speculative threads instead of aborting them.
+func WithHardwareExtension() SystemOption {
+	return func(c *tsx.Config) { c.HWExt = true }
+}
+
+// WithNestedElision lets XACQUIRE begin an elision inside an RTM
+// transaction (Algorithm 3 verbatim); real Haswell lacks this.
+func WithNestedElision() SystemOption {
+	return func(c *tsx.Config) { c.NestHLEInRTM = true }
+}
+
+// WithConfig applies fn to the underlying machine configuration.
+func WithConfig(fn func(*MachineConfig)) SystemOption {
+	return func(c *tsx.Config) { fn(c) }
+}
+
+// NewSystem creates a simulated machine with the given number of hardware
+// threads (the paper's testbed exposes 8).
+func NewSystem(threads int, opts ...SystemOption) *System {
+	cfg := tsx.DefaultConfig(threads)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &System{m: tsx.NewMachine(cfg)}
+}
+
+// Machine exposes the underlying simulated machine.
+func (s *System) Machine() *tsx.Machine { return s.m }
+
+// Init runs f on a single simulated thread, for allocating and populating
+// data structures before a parallel phase.
+func (s *System) Init(f func(t *Thread)) {
+	s.m.RunOne(f)
+}
+
+// Parallel simulates n hardware threads running body and returns them
+// (each thread's Clock and Stats are inspectable afterwards). Memory
+// contents persist across calls.
+func (s *System) Parallel(n int, body func(t *Thread)) []*Thread {
+	return s.m.Run(n, body)
+}
+
+// Lock constructors (Chapter 3 and Chapter 6 algorithms).
+var (
+	// NewTTASLock is the test-and-test-and-set spinlock (Algorithm 1).
+	NewTTASLock = func(t *Thread) Lock { return locks.NewTTAS(t) }
+	// NewMCSLock is the MCS queue lock (Algorithm 2), the fair lock
+	// that is HLE-compatible as-is.
+	NewMCSLock = func(t *Thread) Lock { return locks.NewMCS(t) }
+	// NewTicketLock is the classic ticket lock (Algorithm 4); it cannot
+	// be elided (its speculative path falls back to standard locking).
+	NewTicketLock = func(t *Thread) Lock { return locks.NewTicket(t) }
+	// NewAdjustedTicketLock is the paper's HLE-compatible ticket lock
+	// (Algorithm 5).
+	NewAdjustedTicketLock = func(t *Thread) Lock { return locks.NewAdjustedTicket(t) }
+	// NewCLHLock is the CLH queue lock (Algorithm 6); not elidable.
+	NewCLHLock = func(t *Thread) Lock { return locks.NewCLH(t) }
+	// NewAdjustedCLHLock is the paper's HLE-compatible CLH lock
+	// (Algorithm 7).
+	NewAdjustedCLHLock = func(t *Thread) Lock { return locks.NewAdjustedCLH(t) }
+)
+
+// Standard wraps lock in plain, non-speculative locking.
+func Standard(lock Lock) Scheme { return core.NewStandard(lock) }
+
+// Elide wraps lock in Haswell-style hardware lock elision (Figure 1.1).
+// It is subject to the Chapter 3 avalanche effect under conflicts.
+func Elide(lock Lock) Scheme { return core.NewHLE(lock) }
+
+// ElideWithSCM wraps lock in HLE with software-assisted conflict
+// management (Algorithm 3): aborted threads serialize on aux — which the
+// paper requires to be starvation-free, e.g. an MCS lock — and rejoin the
+// speculative run, so non-conflicting threads keep speculating.
+func ElideWithSCM(lock, aux Lock) Scheme {
+	return core.NewHLESCM(lock, aux, core.SCMConfig{})
+}
+
+// ElideWithSCMConfig is ElideWithSCM with explicit tuning.
+func ElideWithSCMConfig(lock, aux Lock, cfg core.SCMConfig) Scheme {
+	return core.NewHLESCM(lock, aux, cfg)
+}
+
+// SCMConfig tunes software-assisted conflict management.
+type SCMConfig = core.SCMConfig
+
+// LockRemoval wraps lock in optimistic software lock removal: the critical
+// section runs transactionally without reading the lock until commit time,
+// retrying up to maxAttempts times (0 selects the paper's 10) before
+// falling back to the lock.
+func LockRemoval(lock Lock, maxAttempts int) Scheme {
+	return core.NewSLR(lock, maxAttempts)
+}
+
+// PessimisticLockRemoval gives up after a single speculative failure.
+func PessimisticLockRemoval(lock Lock) Scheme {
+	return core.NewPessimisticSLR(lock)
+}
+
+// LockRemovalWithSCM applies conflict management to lock removal.
+func LockRemovalWithSCM(lock, aux Lock) Scheme {
+	return core.NewSLRSCM(lock, aux, core.SCMConfig{})
+}
+
+// ElideWithHardwareExtension pairs with WithHardwareExtension: plain HLE
+// on a machine whose conflict detection distinguishes the lock line from
+// data lines (Chapter 7).
+func ElideWithHardwareExtension(lock Lock) Scheme {
+	return hwext.New(lock)
+}

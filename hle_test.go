@@ -1,0 +1,215 @@
+package hle_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hle"
+)
+
+// Example demonstrates the package-level quick start: eight threads
+// incrementing a shared counter under an elided MCS lock with SCM.
+func Example() {
+	sys := hle.NewSystem(8, hle.WithSeed(42))
+	var lock hle.Lock
+	var counter hle.Addr
+	var scheme hle.Scheme
+	sys.Init(func(t *hle.Thread) {
+		lock = hle.NewMCSLock(t)
+		counter = t.AllocLines(1)
+		scheme = hle.ElideWithSCM(lock, hle.NewMCSLock(t))
+	})
+	sys.Parallel(8, func(t *hle.Thread) {
+		scheme.Setup(t)
+		for i := 0; i < 1000; i++ {
+			scheme.Run(t, func() {
+				t.Store(counter, t.Load(counter)+1)
+			})
+		}
+	})
+	sys.Init(func(t *hle.Thread) {
+		fmt.Println("counter =", t.Load(counter))
+	})
+	// Output: counter = 8000
+}
+
+// TestEverySchemeEveryLock exercises the full public construction matrix
+// for serializability.
+func TestEverySchemeEveryLock(t *testing.T) {
+	lockMakers := map[string]func(*hle.Thread) hle.Lock{
+		"TTAS":      hle.NewTTASLock,
+		"MCS":       hle.NewMCSLock,
+		"Ticket":    hle.NewTicketLock,
+		"AdjTicket": hle.NewAdjustedTicketLock,
+		"CLH":       hle.NewCLHLock,
+		"AdjCLH":    hle.NewAdjustedCLHLock,
+	}
+	schemeMakers := map[string]func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme{
+		"Standard": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.Standard(mk(t))
+		},
+		"Elide": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.Elide(mk(t))
+		},
+		"ElideWithSCM": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.ElideWithSCM(mk(t), hle.NewMCSLock(t))
+		},
+		"LockRemoval": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.LockRemoval(mk(t), 0)
+		},
+		"PessimisticLockRemoval": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.PessimisticLockRemoval(mk(t))
+		},
+		"LockRemovalWithSCM": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.LockRemovalWithSCM(mk(t), hle.NewMCSLock(t))
+		},
+	}
+	for ln, lmk := range lockMakers {
+		for sn, smk := range schemeMakers {
+			t.Run(sn+"/"+ln, func(t *testing.T) {
+				sys := hle.NewSystem(4, hle.WithSeed(7))
+				var counter hle.Addr
+				var scheme hle.Scheme
+				sys.Init(func(th *hle.Thread) {
+					counter = th.AllocLines(1)
+					scheme = smk(th, lmk)
+				})
+				sys.Parallel(4, func(th *hle.Thread) {
+					scheme.Setup(th)
+					for i := 0; i < 50; i++ {
+						scheme.Run(th, func() {
+							v := th.Load(counter)
+							th.Work(3)
+							th.Store(counter, v+1)
+						})
+					}
+				})
+				var got uint64
+				sys.Init(func(th *hle.Thread) { got = th.Load(counter) })
+				if got != 200 {
+					t.Fatalf("counter = %d, want 200", got)
+				}
+			})
+		}
+	}
+}
+
+// TestHardwareExtensionOption wires the Chapter 7 configuration end to end.
+func TestHardwareExtensionOption(t *testing.T) {
+	sys := hle.NewSystem(4, hle.WithSeed(3), hle.WithHardwareExtension())
+	var lock hle.Lock
+	var counter hle.Addr
+	var scheme hle.Scheme
+	sys.Init(func(th *hle.Thread) {
+		lock = hle.NewTTASLock(th)
+		counter = th.AllocLines(1)
+		scheme = hle.ElideWithHardwareExtension(lock)
+	})
+	sys.Parallel(4, func(th *hle.Thread) {
+		scheme.Setup(th)
+		for i := 0; i < 100; i++ {
+			scheme.Run(th, func() {
+				th.Store(counter, th.Load(counter)+1)
+			})
+		}
+	})
+	var got uint64
+	sys.Init(func(th *hle.Thread) { got = th.Load(counter) })
+	if got != 400 {
+		t.Fatalf("counter = %d, want 400", got)
+	}
+	if scheme.Name() != "HLE-HWExt" {
+		t.Errorf("scheme name %q", scheme.Name())
+	}
+}
+
+// TestDeterminismAcrossSystems: two identically-seeded systems agree on
+// every statistic.
+func TestDeterminismAcrossSystems(t *testing.T) {
+	run := func() hle.OpStats {
+		sys := hle.NewSystem(4, hle.WithSeed(99))
+		var lock hle.Lock
+		var counter hle.Addr
+		var scheme hle.Scheme
+		sys.Init(func(th *hle.Thread) {
+			lock = hle.NewTTASLock(th)
+			counter = th.AllocLines(1)
+			scheme = hle.Elide(lock)
+		})
+		sys.Parallel(4, func(th *hle.Thread) {
+			scheme.Setup(th)
+			for i := 0; i < 200; i++ {
+				scheme.Run(th, func() {
+					th.Store(counter, th.Load(counter)+1)
+				})
+			}
+		})
+		return scheme.TotalStats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestWithConfigOption verifies advanced configuration plumbing.
+func TestWithConfigOption(t *testing.T) {
+	sys := hle.NewSystem(2, hle.WithConfig(func(c *hle.MachineConfig) {
+		c.SpuriousPerAccess = 0.5
+		c.Seed = 5
+	}))
+	aborted := false
+	sys.Init(func(th *hle.Thread) {
+		for i := 0; i < 20 && !aborted; i++ {
+			ok, _ := th.RTM(func() {
+				a := th.Alloc(1)
+				th.Store(a, 1)
+			})
+			if !ok {
+				aborted = true
+			}
+		}
+	})
+	if !aborted {
+		t.Fatal("0.5 spurious rate produced no aborts in 20 transactions")
+	}
+}
+
+// TestFacadeOptions covers the remaining configuration surface.
+func TestFacadeOptions(t *testing.T) {
+	sys := hle.NewSystem(2,
+		hle.WithSeed(5),
+		hle.WithMemory(1<<17),
+		hle.WithNestedElision(),
+	)
+	if sys.Machine() == nil {
+		t.Fatal("Machine accessor nil")
+	}
+	if !sys.Machine().Config().NestHLEInRTM {
+		t.Fatal("WithNestedElision not applied")
+	}
+	var counter hle.Addr
+	var scheme hle.Scheme
+	sys.Init(func(th *hle.Thread) {
+		counter = th.AllocLines(1)
+		// Ideal Algorithm 3 on the nesting-capable machine, with
+		// explicit tuning.
+		scheme = hle.ElideWithSCMConfig(hle.NewMCSLock(th), hle.NewMCSLock(th),
+			hle.SCMConfig{MaxRetries: 5, Ideal: true})
+	})
+	sys.Parallel(2, func(th *hle.Thread) {
+		scheme.Setup(th)
+		for i := 0; i < 100; i++ {
+			scheme.Run(th, func() {
+				th.Store(counter, th.Load(counter)+1)
+			})
+		}
+	})
+	var got uint64
+	sys.Init(func(th *hle.Thread) { got = th.Load(counter) })
+	if got != 200 {
+		t.Fatalf("counter = %d, want 200", got)
+	}
+	if scheme.Name() != "HLE-SCM-ideal" {
+		t.Errorf("scheme name %q", scheme.Name())
+	}
+}

@@ -1,0 +1,193 @@
+package check_test
+
+import (
+	"testing"
+
+	"hle/internal/check"
+	"hle/internal/core"
+	"hle/internal/harness"
+	"hle/internal/hashtable"
+	"hle/internal/rbtree"
+	"hle/internal/tsx"
+)
+
+func machineCfg(n int, seed int64) tsx.Config {
+	cfg := tsx.DefaultConfig(n)
+	cfg.Seed = seed
+	cfg.MemWords = 1 << 18
+	return cfg
+}
+
+// boolTo01 encodes operation results uniformly.
+func boolTo01(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestRBTreeSerializableUnderAllSchemes runs a concurrent insert/delete/
+// lookup history over the red-black tree under every scheme and verifies
+// the full history against a sequential map witness, result by result.
+func TestRBTreeSerializableUnderAllSchemes(t *testing.T) {
+	for _, spec := range []harness.SchemeSpec{
+		{Scheme: "Standard", Lock: "MCS"},
+		{Scheme: "HLE", Lock: "TTAS"},
+		{Scheme: "HLE", Lock: "MCS"},
+		{Scheme: "HLE-SCM", Lock: "MCS"},
+		{Scheme: "HLE-SCM-multi", Lock: "TTAS"},
+		{Scheme: "RTM-LE", Lock: "TTAS"},
+		{Scheme: "Pes-SLR", Lock: "TTAS"},
+		{Scheme: "Opt-SLR", Lock: "MCS"},
+		{Scheme: "Opt-SLR-SCM", Lock: "TTAS"},
+	} {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			m := tsx.NewMachine(machineCfg(8, 21))
+			var s core.Scheme
+			var tr *rbtree.Tree
+			var rec *check.Recorder
+			m.RunOne(func(th *tsx.Thread) {
+				s = spec.Build(th)
+				tr = rbtree.New(th)
+				rec = check.NewRecorder(th)
+			})
+			m.Run(8, func(th *tsx.Thread) {
+				s.Setup(th)
+				for i := 0; i < 80; i++ {
+					key := uint64(th.Rand().Intn(64))
+					switch th.Rand().Intn(3) {
+					case 0:
+						rec.RunChecked(th, s, "insert", key, func() uint64 {
+							return boolTo01(tr.Insert(th, key, key+1))
+						})
+					case 1:
+						rec.RunChecked(th, s, "delete", key, func() uint64 {
+							return boolTo01(tr.Delete(th, key))
+						})
+					default:
+						rec.RunChecked(th, s, "lookup", key, func() uint64 {
+							v, ok := tr.Lookup(th, key)
+							return v<<1 | boolTo01(ok)
+						})
+					}
+				}
+			})
+			model := map[uint64]uint64{}
+			err := rec.Verify(func(kind string, key uint64) uint64 {
+				switch kind {
+				case "insert":
+					_, had := model[key]
+					model[key] = key + 1
+					return boolTo01(!had)
+				case "delete":
+					_, had := model[key]
+					delete(model, key)
+					return boolTo01(had)
+				default:
+					v, ok := model[key]
+					return v<<1 | boolTo01(ok)
+				}
+			})
+			if err != nil {
+				t.Fatalf("history not serializable: %v", err)
+			}
+			if rec.Len() != 8*80 {
+				t.Fatalf("recorded %d ops, want %d", rec.Len(), 8*80)
+			}
+		})
+	}
+}
+
+// TestHashTableSerializable does the same for the hash table under the
+// highest-risk scheme (optimistic SLR, which reads the lock only at commit).
+func TestHashTableSerializable(t *testing.T) {
+	m := tsx.NewMachine(machineCfg(8, 5))
+	var s core.Scheme
+	var h *hashtable.Table
+	var rec *check.Recorder
+	m.RunOne(func(th *tsx.Thread) {
+		s = (harness.SchemeSpec{Scheme: "Opt-SLR", Lock: "TTAS"}).Build(th)
+		h = hashtable.New(th, 32)
+		rec = check.NewRecorder(th)
+	})
+	m.Run(8, func(th *tsx.Thread) {
+		s.Setup(th)
+		for i := 0; i < 100; i++ {
+			key := uint64(th.Rand().Intn(48))
+			switch th.Rand().Intn(3) {
+			case 0:
+				val := uint64(i + 1)
+				rec.RunChecked(th, s, "insert", key<<32|val, func() uint64 {
+					return boolTo01(h.Insert(th, key, val))
+				})
+			case 1:
+				rec.RunChecked(th, s, "delete", key, func() uint64 {
+					return boolTo01(h.Delete(th, key))
+				})
+			default:
+				rec.RunChecked(th, s, "lookup", key, func() uint64 {
+					v, ok := h.Lookup(th, key)
+					return v<<1 | boolTo01(ok)
+				})
+			}
+		}
+	})
+	model := map[uint64]uint64{}
+	err := rec.Verify(func(kind string, packed uint64) uint64 {
+		switch kind {
+		case "insert":
+			key, val := packed>>32, packed&0xffffffff
+			_, had := model[key]
+			model[key] = val
+			return boolTo01(!had)
+		case "delete":
+			_, had := model[packed]
+			delete(model, packed)
+			return boolTo01(had)
+		default:
+			v, ok := model[packed]
+			return v<<1 | boolTo01(ok)
+		}
+	})
+	if err != nil {
+		t.Fatalf("history not serializable: %v", err)
+	}
+}
+
+// TestVerifyCatchesCorruption: the checker must reject a cooked log.
+func TestVerifyCatchesCorruption(t *testing.T) {
+	m := tsx.NewMachine(machineCfg(1, 1))
+	var rec *check.Recorder
+	m.RunOne(func(th *tsx.Thread) {
+		rec = check.NewRecorder(th)
+		rec.Record(check.Op{Seq: 0, Kind: "insert", Key: 1, Result: 1})
+		rec.Record(check.Op{Seq: 1, Kind: "insert", Key: 1, Result: 1}) // lie: re-insert must return 0
+	})
+	model := map[uint64]bool{}
+	err := rec.Verify(func(kind string, key uint64) uint64 {
+		had := model[key]
+		model[key] = true
+		if had {
+			return 0
+		}
+		return 1
+	})
+	if err == nil {
+		t.Fatal("checker accepted a non-serializable log")
+	}
+}
+
+// TestVerifyCatchesMissingTicket: gaps in the ticket sequence are reported.
+func TestVerifyCatchesMissingTicket(t *testing.T) {
+	m := tsx.NewMachine(machineCfg(1, 1))
+	var rec *check.Recorder
+	m.RunOne(func(th *tsx.Thread) {
+		rec = check.NewRecorder(th)
+		rec.Record(check.Op{Seq: 0, Kind: "noop"})
+		rec.Record(check.Op{Seq: 2, Kind: "noop"}) // gap at 1
+	})
+	if err := rec.Verify(func(string, uint64) uint64 { return 0 }); err == nil {
+		t.Fatal("checker accepted a gapped ticket sequence")
+	}
+}

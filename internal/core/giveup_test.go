@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"testing"
+
+	"hle/internal/core"
+	"hle/internal/locks"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// capacityMachine returns a machine whose tiny write-set capacity dooms
+// any multi-line transaction — the !MayRetry give-up paths.
+func capacityMachine(n int, seed int64) *tsx.Machine {
+	cfg := tsx.DefaultConfig(n)
+	cfg.Seed = seed
+	cfg.SpuriousPerAccess = 0
+	cfg.WriteSetLines = 2
+	cfg.MemWords = 1 << 14
+	return tsx.NewMachine(cfg)
+}
+
+// bigCS returns a critical section writing more lines than the capacity.
+func bigCS(th *tsx.Thread, arr mem.Addr, ctr mem.Addr) func() {
+	return func() {
+		for l := 0; l < 4; l++ {
+			th.Store(arr+mem.Addr(l*mem.LineWords), 1)
+		}
+		th.Store(ctr, th.Load(ctr)+1)
+	}
+}
+
+// TestSLRGivesUpOnCapacity: the §5.1 tuning — capacity aborts clear
+// MayRetry, so optimistic SLR must fall back after ONE attempt rather than
+// burning its retry budget.
+func TestSLRGivesUpOnCapacity(t *testing.T) {
+	m := capacityMachine(1, 3)
+	m.RunOne(func(th *tsx.Thread) {
+		s := core.NewSLR(locks.NewTTAS(th), 10)
+		s.Setup(th)
+		arr := th.AllocLines(4 * mem.LineWords)
+		ctr := th.AllocLines(1)
+		r := s.Run(th, bigCS(th, arr, ctr))
+		if r.Spec {
+			t.Fatal("capacity-doomed CS completed speculatively?")
+		}
+		if r.Attempts != 2 {
+			t.Fatalf("attempts = %d, want 2 (one doomed try + fallback); MayRetry tuning broken", r.Attempts)
+		}
+		if th.Load(ctr) != 1 {
+			t.Fatal("CS effect lost")
+		}
+	})
+}
+
+// TestSLRSCMGivesUpOnCapacity: the same early-exit applies under SLR-SCM.
+func TestSLRSCMGivesUpOnCapacity(t *testing.T) {
+	m := capacityMachine(1, 3)
+	m.RunOne(func(th *tsx.Thread) {
+		s := core.NewSLRSCM(locks.NewTTAS(th), locks.NewMCS(th), core.SCMConfig{})
+		s.Setup(th)
+		arr := th.AllocLines(4 * mem.LineWords)
+		ctr := th.AllocLines(1)
+		r := s.Run(th, bigCS(th, arr, ctr))
+		if r.Spec || r.Attempts > 3 {
+			t.Fatalf("SLR-SCM burned %d attempts on a capacity-doomed CS (spec=%v)", r.Attempts, r.Spec)
+		}
+		if th.Load(ctr) != 1 {
+			t.Fatal("CS effect lost")
+		}
+	})
+}
+
+// TestSCMGiveUpPath: Algorithm 3's line 15 — after MaxRetries the aux
+// holder takes the main lock non-speculatively (and, per the paper, retries
+// blindly: capacity aborts do NOT shorten the path; that contrast with SLR
+// is the ext-stamp labyrinth finding).
+func TestSCMGiveUpPath(t *testing.T) {
+	m := capacityMachine(1, 3)
+	m.RunOne(func(th *tsx.Thread) {
+		s := core.NewHLESCM(locks.NewTTAS(th), locks.NewMCS(th), core.SCMConfig{MaxRetries: 3})
+		s.Setup(th)
+		arr := th.AllocLines(4 * mem.LineWords)
+		ctr := th.AllocLines(1)
+		r := s.Run(th, bigCS(th, arr, ctr))
+		if r.Spec {
+			t.Fatal("capacity-doomed CS completed speculatively?")
+		}
+		// 1 initial try + 3 aux-held retries + 1 non-speculative run.
+		if r.Attempts != 5 {
+			t.Fatalf("attempts = %d, want 5 (Algorithm 3 retries blindly)", r.Attempts)
+		}
+		if th.Load(ctr) != 1 {
+			t.Fatal("CS effect lost")
+		}
+	})
+}
+
+// TestSCMMultiGiveUpPath: the striped variant's give-up path.
+func TestSCMMultiGiveUpPath(t *testing.T) {
+	m := capacityMachine(2, 3)
+	var s core.Scheme
+	var arr, ctr mem.Addr
+	m.RunOne(func(th *tsx.Thread) {
+		s = core.NewHLESCMMulti(locks.NewTTAS(th),
+			[]locks.Lock{locks.NewMCS(th), locks.NewMCS(th)}, core.SCMConfig{MaxRetries: 2})
+		arr = th.AllocLines(4 * mem.LineWords)
+		ctr = th.AllocLines(1)
+	})
+	m.Run(2, func(th *tsx.Thread) {
+		s.Setup(th)
+		for i := 0; i < 10; i++ {
+			s.Run(th, bigCS(th, arr, ctr))
+		}
+	})
+	var got uint64
+	m.RunOne(func(th *tsx.Thread) { got = th.Load(ctr) })
+	if got != 20 {
+		t.Fatalf("counter = %d, want 20", got)
+	}
+	if s.TotalStats().Spec != 0 {
+		t.Fatal("capacity-doomed CS reported speculative completions")
+	}
+}
+
+// TestNewHLESCMMultiRequiresAux pins the constructor contract.
+func TestNewHLESCMMultiRequiresAux(t *testing.T) {
+	m := newMachine(1, 1)
+	m.RunOne(func(th *tsx.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty aux list did not panic")
+			}
+		}()
+		core.NewHLESCMMulti(locks.NewTTAS(th), nil, core.SCMConfig{})
+	})
+}
+
+// TestSchemeMiscNames covers remaining name/setup paths.
+func TestSchemeMiscNames(t *testing.T) {
+	m := newMachine(1, 1)
+	m.RunOne(func(th *tsx.Thread) {
+		r := core.NewRTMLE(locks.NewTTAS(th))
+		if r.Name() != "RTM-LE" {
+			t.Errorf("RTMLE name %q", r.Name())
+		}
+		n := core.NewNoLock()
+		n.Setup(th) // no-op, for completeness
+		if got := core.DefaultMaxRetries; got != 10 {
+			t.Errorf("DefaultMaxRetries = %d", got)
+		}
+	})
+}

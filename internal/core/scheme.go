@@ -1,0 +1,199 @@
+// Package core implements the paper's lock-elision schemes — its primary
+// contribution. Each scheme executes a critical section over a main lock:
+//
+//   - Standard: plain non-speculative locking (the paper's baseline).
+//   - HLE: Haswell's hardware lock elision as-is (Figure 1.1 / Algorithm 2
+//     behaviour), which suffers the Chapter 3 avalanche effect.
+//   - HLESCM: software-assisted conflict management (Algorithm 3). Aborted
+//     threads serialize on an auxiliary non-speculative lock and rejoin the
+//     speculative run; only after MaxRetries failures does the aux-lock
+//     holder take the main lock non-speculatively.
+//   - SLR: software-assisted lock removal — the critical section runs
+//     transactionally without touching the lock until just before commit.
+//     Pessimistic gives up after one failure; optimistic retries.
+//   - SLRSCM: SCM applied to SLR.
+//   - HLESCMMulti: the paper's future-work refinement — conflicting threads
+//     are grouped by conflict address onto striped auxiliary locks, so that
+//     threads conflicting on different data do not serialize together.
+//
+// A scheme's Run returns per-operation accounting (attempts, speculative or
+// not) that reproduces the paper's "average execution attempts per critical
+// section" and "fraction of non-speculative execution" plots.
+package core
+
+import (
+	"hle/internal/locks"
+	"hle/internal/tsx"
+)
+
+// Result describes how one critical-section execution completed.
+type Result struct {
+	// Attempts is the number of times the critical section started
+	// executing (aborted speculative tries plus the completing run) —
+	// the paper's (A+N+S)/(N+S) numerator contribution.
+	Attempts uint64
+	// Spec reports whether the completing run was speculative.
+	Spec bool
+}
+
+// OpStats aggregates Results.
+type OpStats struct {
+	Ops      uint64 // completed operations (N+S)
+	Spec     uint64 // operations completing speculatively (S)
+	NonSpec  uint64 // operations completing non-speculatively (N)
+	Attempts uint64 // total execution attempts (A+N+S)
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	s.Ops += other.Ops
+	s.Spec += other.Spec
+	s.NonSpec += other.NonSpec
+	s.Attempts += other.Attempts
+}
+
+// AttemptsPerOp returns the paper's "average execution attempts per
+// critical section".
+func (s OpStats) AttemptsPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Attempts) / float64(s.Ops)
+}
+
+// NonSpecFraction returns the fraction of operations completing
+// non-speculatively.
+func (s OpStats) NonSpecFraction() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.NonSpec) / float64(s.Ops)
+}
+
+func (s *OpStats) record(r Result) {
+	s.Ops++
+	s.Attempts += r.Attempts
+	if r.Spec {
+		s.Spec++
+	} else {
+		s.NonSpec++
+	}
+}
+
+// Scheme executes critical sections over a main lock.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Setup prepares per-thread state (lock queue nodes); call once per
+	// thread, outside any transaction, before the first Run.
+	Setup(t *tsx.Thread)
+	// Run executes cs as a critical section and returns how it
+	// completed. cs may be re-executed after speculative aborts, so it
+	// must be a pure function of simulated memory (true of all the
+	// benchmarks: rollback restores their state exactly).
+	Run(t *tsx.Thread, cs func()) Result
+	// Stats returns the per-thread accumulated operation statistics.
+	Stats(threadID int) OpStats
+	// TotalStats sums statistics across threads.
+	TotalStats() OpStats
+}
+
+// statsBase provides the stats plumbing shared by all schemes.
+type statsBase struct {
+	perThread [locks.MaxThreads]OpStats
+}
+
+func (b *statsBase) record(id int, r Result) { b.perThread[id].record(r) }
+
+// Stats implements Scheme.
+func (b *statsBase) Stats(threadID int) OpStats { return b.perThread[threadID] }
+
+// TotalStats implements Scheme.
+func (b *statsBase) TotalStats() OpStats {
+	var total OpStats
+	for i := range b.perThread {
+		total.Add(b.perThread[i])
+	}
+	return total
+}
+
+// Standard is plain non-speculative locking.
+type Standard struct {
+	statsBase
+	lock locks.Lock
+}
+
+// NewStandard wraps lock in a non-speculative scheme.
+func NewStandard(lock locks.Lock) *Standard { return &Standard{lock: lock} }
+
+// Name implements Scheme.
+func (s *Standard) Name() string { return "Standard" }
+
+// Setup implements Scheme.
+func (s *Standard) Setup(t *tsx.Thread) { s.lock.Prepare(t) }
+
+// Run implements Scheme.
+func (s *Standard) Run(t *tsx.Thread, cs func()) Result {
+	s.lock.Acquire(t)
+	cs()
+	s.lock.Release(t)
+	r := Result{Attempts: 1, Spec: false}
+	s.record(t.ID, r)
+	return r
+}
+
+// NoLock executes the critical section with no synchronization at all. It
+// is only meaningful single-threaded and provides the normalization
+// baseline of Figure 5.1 ("throughput of a single thread with no locking").
+type NoLock struct {
+	statsBase
+}
+
+// NewNoLock returns the unsynchronized baseline scheme.
+func NewNoLock() *NoLock { return &NoLock{} }
+
+// Name implements Scheme.
+func (s *NoLock) Name() string { return "NoLock" }
+
+// Setup implements Scheme.
+func (s *NoLock) Setup(t *tsx.Thread) {}
+
+// Run implements Scheme.
+func (s *NoLock) Run(t *tsx.Thread, cs func()) Result {
+	cs()
+	r := Result{Attempts: 1, Spec: false}
+	s.record(t.ID, r)
+	return r
+}
+
+// HLE runs critical sections under Haswell's hardware lock elision exactly
+// as Figure 1.1 applies it: the lock's speculative path issues XACQUIRE /
+// XRELEASE, and an abort re-executes the acquiring store non-transactionally
+// — acquiring the lock for real and aborting every concurrent elision.
+type HLE struct {
+	statsBase
+	lock locks.Lock
+}
+
+// NewHLE wraps lock in plain hardware lock elision.
+func NewHLE(lock locks.Lock) *HLE { return &HLE{lock: lock} }
+
+// Name implements Scheme.
+func (s *HLE) Name() string { return "HLE" }
+
+// Setup implements Scheme.
+func (s *HLE) Setup(t *tsx.Thread) { s.lock.Prepare(t) }
+
+// Run implements Scheme.
+func (s *HLE) Run(t *tsx.Thread, cs func()) Result {
+	var r Result
+	t.HLERegion(func() {
+		r.Attempts++
+		s.lock.SpecAcquire(t)
+		r.Spec = t.InElision()
+		cs()
+		s.lock.SpecRelease(t)
+	})
+	s.record(t.ID, r)
+	return r
+}

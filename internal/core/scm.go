@@ -1,0 +1,214 @@
+package core
+
+import (
+	"hle/internal/locks"
+	"hle/internal/tsx"
+)
+
+// abortCodeLockHeld is the XABORT immediate used when a speculative run
+// observes the main lock held ("XABORT('non-speculative run')" in the
+// paper's implementation remark).
+const abortCodeLockHeld = 0xA1
+
+// DefaultMaxRetries is the paper's §5.1 tuning: the auxiliary-lock holder
+// retries speculatively 10 times before giving up and taking the main lock.
+const DefaultMaxRetries = 10
+
+// SCMConfig tunes software-assisted conflict management.
+type SCMConfig struct {
+	// MaxRetries is how many times the aux-lock holder rejoins the
+	// speculative run before acquiring the main lock non-speculatively.
+	// Zero selects DefaultMaxRetries.
+	MaxRetries int
+	// Ideal selects Algorithm 3 verbatim, nesting an HLE elision inside
+	// the RTM transaction so the critical section keeps the
+	// lock-is-held illusion. It requires tsx.Config.NestHLEInRTM, which
+	// real Haswell lacks; the default (false) uses the paper's
+	// implementation remark — read the main lock inside the RTM
+	// transaction and XABORT if it is held.
+	Ideal bool
+}
+
+func (c *SCMConfig) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return DefaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
+// HLESCM is Algorithm 3: lock elision with software-assisted conflict
+// management. Conflicting threads serialize on the auxiliary lock — without
+// acquiring the main lock — and rejoin the speculative run, so
+// non-conflicting threads keep speculating and the avalanche never forms.
+type HLESCM struct {
+	statsBase
+	main locks.Lock
+	aux  locks.Lock
+	cfg  SCMConfig
+}
+
+// NewHLESCM builds the SCM scheme over main with the given auxiliary lock.
+// The paper requires a starvation-free aux lock (an MCS lock) for the
+// scheme to inherit fairness.
+func NewHLESCM(main, aux locks.Lock, cfg SCMConfig) *HLESCM {
+	return &HLESCM{main: main, aux: aux, cfg: cfg}
+}
+
+// Name implements Scheme.
+func (s *HLESCM) Name() string {
+	if s.cfg.Ideal {
+		return "HLE-SCM-ideal"
+	}
+	return "HLE-SCM"
+}
+
+// Setup implements Scheme.
+func (s *HLESCM) Setup(t *tsx.Thread) {
+	s.main.Prepare(t)
+	s.aux.Prepare(t)
+}
+
+// Run implements Scheme; it is Algorithm 3's Lock(), critical section, and
+// Unlock() in one flow.
+func (s *HLESCM) Run(t *tsx.Thread, cs func()) Result {
+	var r Result
+	retries := 0
+	auxOwner := false
+	for {
+		// Primary path: XBEGIN, elide the main lock, run the
+		// critical section, XEND.
+		committed, st := t.RTM(func() {
+			r.Attempts++
+			if s.cfg.Ideal {
+				s.main.SpecAcquire(t)
+			} else if s.main.Held(t) {
+				// Implementation remark: put the main lock in
+				// the read set and check that it is free.
+				t.Abort(abortCodeLockHeld)
+			}
+			cs()
+			if s.cfg.Ideal {
+				s.main.SpecRelease(t)
+			}
+		})
+		if committed {
+			r.Spec = true
+			break
+		}
+
+		// Serializing path (Algorithm 3, lines 5-16).
+		if auxOwner {
+			retries++
+		} else {
+			s.aux.Acquire(t)
+			auxOwner = true
+		}
+		if retries >= s.cfg.maxRetries() {
+			// Give up: non-speculative execution under the main
+			// lock. Only the aux holder ever reaches here, so the
+			// acquisition is uncontended among SCM threads.
+			r.Attempts++
+			s.main.Acquire(t)
+			cs()
+			s.main.Release(t)
+			r.Spec = false
+			break
+		}
+		if st.Cause == tsx.CauseExplicit && st.Code == abortCodeLockHeld {
+			// The main lock is held by a thread that gave up;
+			// eliding is futile until it releases (Intel's
+			// recommended elision retry discipline).
+			for s.main.Held(t) {
+				t.Pause()
+			}
+		}
+	}
+	if auxOwner {
+		s.aux.Release(t)
+	}
+	s.record(t.ID, r)
+	return r
+}
+
+// HLESCMMulti is the refinement the paper leaves as future work (Chapter 4
+// remark): instead of one auxiliary lock grouping all conflicting threads,
+// conflicting threads are divided into groups keyed by the conflicting
+// cache line (exposed in the abort status — the "abort information provided
+// by the hardware" of the future-work section), so threads that conflict on
+// unrelated data do not serialize with each other.
+type HLESCMMulti struct {
+	statsBase
+	main locks.Lock
+	aux  []locks.Lock
+	cfg  SCMConfig
+}
+
+// NewHLESCMMulti builds the striped-aux-lock SCM variant. aux must contain
+// at least one starvation-free lock.
+func NewHLESCMMulti(main locks.Lock, aux []locks.Lock, cfg SCMConfig) *HLESCMMulti {
+	if len(aux) == 0 {
+		panic("core: HLESCMMulti requires at least one aux lock")
+	}
+	return &HLESCMMulti{main: main, aux: aux, cfg: cfg}
+}
+
+// Name implements Scheme.
+func (s *HLESCMMulti) Name() string { return "HLE-SCM-multi" }
+
+// Setup implements Scheme.
+func (s *HLESCMMulti) Setup(t *tsx.Thread) {
+	s.main.Prepare(t)
+	for _, a := range s.aux {
+		a.Prepare(t)
+	}
+}
+
+// Run implements Scheme.
+func (s *HLESCMMulti) Run(t *tsx.Thread, cs func()) Result {
+	var r Result
+	retries := 0
+	held := -1 // index of the aux lock this thread holds, or -1
+	for {
+		committed, st := t.RTM(func() {
+			r.Attempts++
+			if s.main.Held(t) {
+				t.Abort(abortCodeLockHeld)
+			}
+			cs()
+		})
+		if committed {
+			r.Spec = true
+			break
+		}
+		if held >= 0 {
+			retries++
+		} else {
+			// Group by conflicting line so only threads fighting
+			// over the same data serialize together.
+			idx := 0
+			if st.Cause == tsx.CauseConflict {
+				idx = int(uint64(st.ConflictAddr) % uint64(len(s.aux)))
+			}
+			s.aux[idx].Acquire(t)
+			held = idx
+		}
+		if retries >= s.cfg.maxRetries() {
+			r.Attempts++
+			s.main.Acquire(t)
+			cs()
+			s.main.Release(t)
+			r.Spec = false
+			break
+		}
+		if st.Cause == tsx.CauseExplicit && st.Code == abortCodeLockHeld {
+			for s.main.Held(t) {
+				t.Pause()
+			}
+		}
+	}
+	if held >= 0 {
+		s.aux[held].Release(t)
+	}
+	s.record(t.ID, r)
+	return r
+}

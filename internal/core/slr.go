@@ -1,0 +1,151 @@
+package core
+
+import (
+	"hle/internal/locks"
+	"hle/internal/tsx"
+)
+
+// SLR is software-assisted lock removal: the critical section executes
+// transactionally without accessing the lock at all; just before
+// committing, the transaction reads the lock and commits only if it is
+// free, aborting and retrying otherwise. Unlike Rajwar and Goodman's
+// transactional lock removal, no hardware conflict-management changes are
+// needed — livelock is avoided in software by bounding retries and falling
+// back to the lock.
+//
+// The pessimistic variant acquires the lock non-speculatively after a
+// single failure; the optimistic variant retries speculatively
+// (10 times in the paper's evaluation) first.
+type SLR struct {
+	statsBase
+	main        locks.Lock
+	maxAttempts int
+	pessimistic bool
+}
+
+// DefaultSLRAttempts is the optimistic variant's retry budget (§5.1).
+const DefaultSLRAttempts = 10
+
+// NewSLR builds an optimistic SLR scheme with the given speculative
+// attempt budget (0 selects DefaultSLRAttempts).
+func NewSLR(main locks.Lock, maxAttempts int) *SLR {
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultSLRAttempts
+	}
+	return &SLR{main: main, maxAttempts: maxAttempts, pessimistic: maxAttempts == 1}
+}
+
+// NewPessimisticSLR builds the pessimistic variant: one speculative try.
+func NewPessimisticSLR(main locks.Lock) *SLR {
+	return &SLR{main: main, maxAttempts: 1, pessimistic: true}
+}
+
+// Name implements Scheme.
+func (s *SLR) Name() string {
+	if s.pessimistic {
+		return "Pes-SLR"
+	}
+	return "Opt-SLR"
+}
+
+// Setup implements Scheme.
+func (s *SLR) Setup(t *tsx.Thread) { s.main.Prepare(t) }
+
+// Run implements Scheme.
+func (s *SLR) Run(t *tsx.Thread, cs func()) Result {
+	var r Result
+	for attempt := 0; attempt < s.maxAttempts; attempt++ {
+		committed, st := t.RTM(func() {
+			r.Attempts++
+			cs()
+			// Read the lock only now, when ready to commit.
+			if s.main.Held(t) {
+				t.Abort(abortCodeLockHeld)
+			}
+		})
+		if committed {
+			r.Spec = true
+			s.record(t.ID, r)
+			return r
+		}
+		// §5.1 tuning: SLR switches to non-speculative execution when
+		// the abort status says the transaction is unlikely to ever
+		// succeed (capacity overflows clear the retry bit).
+		if !st.MayRetry {
+			break
+		}
+	}
+	r.Attempts++
+	s.main.Acquire(t)
+	cs()
+	s.main.Release(t)
+	r.Spec = false
+	s.record(t.ID, r)
+	return r
+}
+
+// SLRSCM applies software-assisted conflict management to lock removal:
+// the primary path is the SLR transaction; aborted threads serialize on
+// the auxiliary lock and rejoin speculation, further reducing the progress
+// problems caused when SLR threads give up and take the lock (Chapter 4).
+type SLRSCM struct {
+	statsBase
+	main locks.Lock
+	aux  locks.Lock
+	cfg  SCMConfig
+}
+
+// NewSLRSCM builds the SLR-SCM scheme over main with the given
+// starvation-free auxiliary lock.
+func NewSLRSCM(main, aux locks.Lock, cfg SCMConfig) *SLRSCM {
+	return &SLRSCM{main: main, aux: aux, cfg: cfg}
+}
+
+// Name implements Scheme.
+func (s *SLRSCM) Name() string { return "Opt-SLR-SCM" }
+
+// Setup implements Scheme.
+func (s *SLRSCM) Setup(t *tsx.Thread) {
+	s.main.Prepare(t)
+	s.aux.Prepare(t)
+}
+
+// Run implements Scheme: Algorithm 3 with the boxed HLE calls replaced by
+// SLR's commit-time lock check.
+func (s *SLRSCM) Run(t *tsx.Thread, cs func()) Result {
+	var r Result
+	retries := 0
+	auxOwner := false
+	for {
+		committed, st := t.RTM(func() {
+			r.Attempts++
+			cs()
+			if s.main.Held(t) {
+				t.Abort(abortCodeLockHeld)
+			}
+		})
+		if committed {
+			r.Spec = true
+			break
+		}
+		if auxOwner {
+			retries++
+		} else {
+			s.aux.Acquire(t)
+			auxOwner = true
+		}
+		if retries >= s.cfg.maxRetries() || !st.MayRetry {
+			r.Attempts++
+			s.main.Acquire(t)
+			cs()
+			s.main.Release(t)
+			r.Spec = false
+			break
+		}
+	}
+	if auxOwner {
+		s.aux.Release(t)
+	}
+	s.record(t.ID, r)
+	return r
+}

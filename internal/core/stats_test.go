@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"testing"
+
+	"hle/internal/core"
+	"hle/internal/locks"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// TestPerThreadStats: statsBase attributes operations to the right thread.
+func TestPerThreadStats(t *testing.T) {
+	m := newMachine(4, 3)
+	var s core.Scheme
+	var ctr mem.Addr
+	m.RunOne(func(th *tsx.Thread) {
+		s = core.NewStandard(locks.NewTTAS(th))
+		ctr = th.AllocLines(1)
+	})
+	perThread := []int{5, 10, 15, 20}
+	m.Run(4, func(th *tsx.Thread) {
+		s.Setup(th)
+		for i := 0; i < perThread[th.ID]; i++ {
+			s.Run(th, func() { th.Store(ctr, th.Load(ctr)+1) })
+		}
+	})
+	for id, want := range perThread {
+		if got := s.Stats(id).Ops; got != uint64(want) {
+			t.Errorf("thread %d ops = %d, want %d", id, got, want)
+		}
+	}
+	if got := s.TotalStats().Ops; got != 50 {
+		t.Errorf("total ops = %d, want 50", got)
+	}
+}
+
+// TestResultAttemptsUnderForcedAborts: a CS that conflicts on its first
+// executions must report >1 attempts and a truthful Spec flag.
+func TestResultAttemptsUnderForcedAborts(t *testing.T) {
+	cfg := tsx.DefaultConfig(2)
+	cfg.Seed = 5
+	cfg.SpuriousPerAccess = 0
+	m := tsx.NewMachine(cfg)
+	var s core.Scheme
+	var hot mem.Addr
+	m.RunOne(func(th *tsx.Thread) {
+		s = core.NewHLE(locks.NewTTAS(th))
+		hot = th.AllocLines(1)
+	})
+	sawRetry := false
+	sawNonSpec := false
+	m.Run(2, func(th *tsx.Thread) {
+		s.Setup(th)
+		for i := 0; i < 200; i++ {
+			r := s.Run(th, func() {
+				v := th.Load(hot)
+				th.Work(25)
+				th.Store(hot, v+1)
+			})
+			if r.Attempts > 1 {
+				sawRetry = true
+			}
+			if !r.Spec {
+				sawNonSpec = true
+			}
+			if r.Attempts == 0 {
+				t.Fatal("zero attempts reported")
+			}
+		}
+	})
+	if !sawRetry || !sawNonSpec {
+		t.Errorf("contended HLE never reported retries (%v) or non-speculative completions (%v)",
+			sawRetry, sawNonSpec)
+	}
+	var got uint64
+	m.RunOne(func(th *tsx.Thread) { got = th.Load(hot) })
+	if got != 400 {
+		t.Fatalf("counter = %d, want 400", got)
+	}
+}
+
+// TestOpStatsArithmetic covers the derived-metric helpers.
+func TestOpStatsArithmetic(t *testing.T) {
+	s := core.OpStats{Ops: 10, Spec: 7, NonSpec: 3, Attempts: 25}
+	if s.AttemptsPerOp() != 2.5 {
+		t.Errorf("AttemptsPerOp = %v", s.AttemptsPerOp())
+	}
+	if s.NonSpecFraction() != 0.3 {
+		t.Errorf("NonSpecFraction = %v", s.NonSpecFraction())
+	}
+	var zero core.OpStats
+	if zero.AttemptsPerOp() != 0 || zero.NonSpecFraction() != 0 {
+		t.Error("zero stats should derive zero metrics")
+	}
+	a := core.OpStats{Ops: 1, Spec: 1, Attempts: 2}
+	a.Add(core.OpStats{Ops: 2, NonSpec: 2, Attempts: 3})
+	if a.Ops != 3 || a.Spec != 1 || a.NonSpec != 2 || a.Attempts != 5 {
+		t.Errorf("Add result %+v", a)
+	}
+}
+
+// TestSCMAuxIsReleasedAcrossOps: a thread that used the serializing path
+// must release the aux lock before its next operation (regression guard
+// for aux-lock leakage).
+func TestSCMAuxIsReleasedAcrossOps(t *testing.T) {
+	m := newMachine(2, 7)
+	var s core.Scheme
+	var aux locks.Lock
+	var hot mem.Addr
+	m.RunOne(func(th *tsx.Thread) {
+		aux = locks.NewMCS(th)
+		s = core.NewHLESCM(locks.NewTTAS(th), aux, core.SCMConfig{})
+		hot = th.AllocLines(1)
+	})
+	m.Run(2, func(th *tsx.Thread) {
+		s.Setup(th)
+		for i := 0; i < 150; i++ {
+			s.Run(th, func() {
+				v := th.Load(hot)
+				th.Work(20)
+				th.Store(hot, v+1)
+			})
+			if aux.Held(th) && i%10 == 0 {
+				// The aux lock may be held by the *other* thread
+				// mid-operation, but after both finish it must be
+				// free (checked below); here just exercise reads.
+				_ = aux.Held(th)
+			}
+		}
+	})
+	m.RunOne(func(th *tsx.Thread) {
+		if aux.Held(th) {
+			t.Fatal("aux lock leaked: still held after all operations finished")
+		}
+		if got := th.Load(hot); got != 300 {
+			t.Fatalf("counter = %d, want 300", got)
+		}
+	})
+}

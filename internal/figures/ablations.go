@@ -1,0 +1,164 @@
+package figures
+
+import (
+	"hle/internal/core"
+	"hle/internal/harness"
+	"hle/internal/locks"
+	"hle/internal/mem"
+	"hle/internal/stats"
+	"hle/internal/tsx"
+)
+
+// AblationSCMRetries sweeps the SCM MaxRetries knob the paper tunes in
+// §5.1 ("the thread holding the auxiliary lock retries to complete its
+// operation speculatively 10 times before giving up"). Too few retries
+// serialize needlessly; very many add little.
+func AblationSCMRetries(o Options) []*stats.Table {
+	o = o.withDefaults()
+	const size = 128
+	retriesSweep := []int{1, 2, 5, 10, 20, 50}
+	if o.Quick {
+		retriesSweep = []int{1, 10, 50}
+	}
+	tb := &stats.Table{
+		Title:  "Ablation — HLE-SCM MaxRetries (MCS lock, 128-node tree, 50/50 mix)",
+		Header: []string{"max retries", "throughput", "attempts/op", "non-spec frac"},
+	}
+	for _, r := range retriesSweep {
+		m := tsx.NewMachine(machineCfg(o, size))
+		var w harness.Workload
+		var scheme core.Scheme
+		m.RunOne(func(t *tsx.Thread) {
+			w = mkRBTree(t, size, harness.MixExtensive)
+			w.Populate(t)
+			scheme = core.NewHLESCM(locks.NewMCS(t), locks.NewMCS(t), core.SCMConfig{MaxRetries: r})
+		})
+		res := harness.Run(m, scheme, w, harness.Config{Threads: o.Threads, CycleBudget: o.Budget})
+		tb.AddRow(stats.I(r), stats.F2(res.Throughput),
+			stats.F2(res.Ops.AttemptsPerOp()), stats.F3(res.Ops.NonSpecFraction()))
+	}
+	return []*stats.Table{tb}
+}
+
+// AblationSpurious sweeps the spurious-abort rate: §2.2 observes that
+// spurious aborts alone can trigger the avalanche ("even in a read-only
+// workload, the MCS lock experiences severe avalanche behavior due to
+// spurious aborts", §5.2). Higher rates must hurt HLE MCS far more than
+// HLE-SCM MCS.
+func AblationSpurious(o Options) []*stats.Table {
+	o = o.withDefaults()
+	const size = 4096
+	rates := []float64{0, 1e-6, 1e-5, 1e-4}
+	if o.Quick {
+		rates = []float64{0, 1e-4}
+	}
+	tb := &stats.Table{
+		Title:  "Ablation — spurious aborts vs avalanche (lookup-only 4K tree, MCS lock)",
+		Header: []string{"rate/access", "HLE non-spec", "HLE tput", "SCM non-spec", "SCM tput"},
+	}
+	for _, rate := range rates {
+		row := []string{stats.E2(rate)}
+		var vals []string
+		for _, scheme := range []string{"HLE", "HLE-SCM"} {
+			cfg := machineCfg(o, size)
+			cfg.SpuriousPerAccess = rate
+			m := tsx.NewMachine(cfg)
+			var w harness.Workload
+			var s core.Scheme
+			m.RunOne(func(t *tsx.Thread) {
+				w = mkRBTree(t, size, harness.MixLookupOnly)
+				w.Populate(t)
+				s = harness.SchemeSpec{Scheme: scheme, Lock: "MCS"}.Build(t)
+			})
+			res := harness.Run(m, s, w, harness.Config{Threads: o.Threads, CycleBudget: o.Budget})
+			vals = append(vals, stats.F3(res.Ops.NonSpecFraction()), stats.F2(res.Throughput))
+		}
+		tb.AddRow(append(row, vals...)...)
+	}
+	return []*stats.Table{tb}
+}
+
+// AblationMultiAux compares single-aux-lock SCM against the future-work
+// multi-group variant on a workload with several independent hot spots —
+// the case the Chapter 4 remark anticipates ("a single conflicting thread
+// does not have to conflict with the entire group").
+func AblationMultiAux(o Options) []*stats.Table {
+	o = o.withDefaults()
+	tb := &stats.Table{
+		Title:  "Ablation — single-group vs multi-group SCM (independent hot counter pairs)",
+		Header: []string{"scheme", "throughput", "attempts/op", "non-spec frac"},
+	}
+	for _, variant := range []string{"HLE-SCM", "HLE-SCM-multi"} {
+		m := tsx.NewMachine(machineCfg(o, 64))
+		var s core.Scheme
+		var cells []mem.Addr
+		m.RunOne(func(t *tsx.Thread) {
+			s = harness.SchemeSpec{Scheme: variant, Lock: "TTAS"}.Build(t)
+			// Independent hot counters, each fought over by a pair
+			// of threads with long critical sections: conflicts
+			// within a pair are frequent but pairs never conflict
+			// with each other — exactly the case where one global
+			// conflict group over-serializes.
+			for i := 0; i < 4; i++ {
+				cells = append(cells, t.AllocLines(1))
+			}
+		})
+		var res harness.Result
+		threads := m.Run(o.Threads, func(t *tsx.Thread) {
+			s.Setup(t)
+			cell := cells[t.ID%len(cells)]
+			for t.Clock() < o.Budget {
+				s.Run(t, func() {
+					v := t.Load(cell)
+					t.Work(120)
+					t.Store(cell, v+1)
+				})
+				// Randomized think time keeps the pair phases
+				// colliding instead of settling into polite
+				// alternation.
+				t.Work(uint64(t.Rand().Intn(200)))
+			}
+		})
+		for _, t := range threads {
+			res.TSX.Add(t.Stats)
+			if t.Clock() > res.MaxClock {
+				res.MaxClock = t.Clock()
+			}
+		}
+		res.Ops = s.TotalStats()
+		tput := float64(res.Ops.Ops) * 1e6 / float64(res.MaxClock)
+		tb.AddRow(variant, stats.F2(tput),
+			stats.F2(res.Ops.AttemptsPerOp()), stats.F3(res.Ops.NonSpecFraction()))
+	}
+	return []*stats.Table{tb}
+}
+
+// AblationBackoff compares Dice et al.'s lemming-effect mitigation —
+// exponential backoff on the TTAS acquire path — against the paper's SCM,
+// which prevents the avalanche rather than damping it (Chapter 8 draws
+// exactly this contrast).
+func AblationBackoff(o Options) []*stats.Table {
+	o = o.withDefaults()
+	sizes := []int{64, 512, 4096}
+	if o.Quick {
+		sizes = []int{128}
+	}
+	tb := &stats.Table{
+		Title:  "Ablation — backoff damping vs SCM prevention (10/10/80, 8 threads)",
+		Header: []string{"tree size", "HLE TTAS", "HLE Backoff-TTAS", "HLE-SCM TTAS"},
+	}
+	for _, size := range sizes {
+		res := dsRun(o, size, harness.MixModerate, mkRBTree, []harness.SchemeSpec{
+			{Scheme: "Standard", Lock: "TTAS"},
+			{Scheme: "HLE", Lock: "TTAS"},
+			{Scheme: "HLE", Lock: "BackoffTTAS"},
+			{Scheme: "HLE-SCM", Lock: "TTAS"},
+		}, o.Threads)
+		base := res["Standard TTAS"].Throughput
+		tb.AddRow(stats.SizeLabel(size),
+			stats.F2(res["HLE TTAS"].Throughput/base),
+			stats.F2(res["HLE BackoffTTAS"].Throughput/base),
+			stats.F2(res["HLE-SCM TTAS"].Throughput/base))
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"fmt"
+
+	"hle/internal/harness"
+	"hle/internal/stats"
+	"hle/internal/tsx"
+)
+
+// FigCh6 demonstrates Chapter 6: the HLE-adjusted ticket and CLH locks are
+// usable under elision and behave like the MCS lock — both the avalanche
+// under plain HLE and the SCM rescue — whereas the unadjusted versions
+// cannot elide at all (their speculative path is the standard path).
+func FigCh6(o Options) []*stats.Table {
+	o = o.withDefaults()
+	locksUnderTest := []string{"MCS", "AdjTicket", "AdjCLH", "Ticket", "CLH"}
+	var tables []*stats.Table
+	for _, scheme := range []string{"HLE", "HLE-SCM"} {
+		tb := &stats.Table{
+			Title: fmt.Sprintf("Ch 6 — fair locks under %s: speedup over standard lock / non-spec fraction, 10/10/80, %d threads",
+				scheme, o.Threads),
+			Header: []string{"tree size", "MCS", "AdjTicket", "AdjCLH", "Ticket", "CLH"},
+		}
+		fr := &stats.Table{
+			Title:  fmt.Sprintf("Ch 6 — non-speculative fraction under %s", scheme),
+			Header: []string{"tree size", "MCS", "AdjTicket", "AdjCLH", "Ticket", "CLH"},
+		}
+		sizes := treeSizes(o)
+		if !o.Quick {
+			sizes = []int{8, 128, 2048, 32768}
+		}
+		for _, size := range sizes {
+			var specs []harness.SchemeSpec
+			for _, l := range locksUnderTest {
+				specs = append(specs,
+					harness.SchemeSpec{Scheme: "Standard", Lock: l},
+					harness.SchemeSpec{Scheme: scheme, Lock: l})
+			}
+			res := dsRun(o, size, harness.MixModerate, mkRBTree, specs, o.Threads)
+			speedRow := []string{stats.SizeLabel(size)}
+			fracRow := []string{stats.SizeLabel(size)}
+			for _, l := range locksUnderTest {
+				speedRow = append(speedRow,
+					stats.F2(res[scheme+" "+l].Throughput/res["Standard "+l].Throughput))
+				fracRow = append(fracRow,
+					stats.F3(res[scheme+" "+l].Ops.NonSpecFraction()))
+			}
+			tb.AddRow(speedRow...)
+			fr.AddRow(fracRow...)
+		}
+		tables = append(tables, tb, fr)
+	}
+	return tables
+}
+
+// FigCh7 evaluates the Chapter 7 hardware extension: plain HLE, HLE with
+// the extension, and HLE-SCM, compared across contention levels. The
+// extension must close most of the avalanche gap in hardware alone.
+func FigCh7(o Options) []*stats.Table {
+	o = o.withDefaults()
+	var tables []*stats.Table
+	for _, lock := range []string{"TTAS", "MCS"} {
+		tb := &stats.Table{
+			Title: fmt.Sprintf("Ch 7 — HLE vs HLE+extension vs HLE-SCM, speedup over standard %s lock, 10/10/80, %d threads",
+				lock, o.Threads),
+			Header: []string{"tree size", "HLE", "HLE-HWExt", "HLE-SCM", "HWExt non-spec", "HLE non-spec"},
+		}
+		sizes := treeSizes(o)
+		if !o.Quick {
+			sizes = []int{8, 128, 2048, 32768}
+		}
+		for _, size := range sizes {
+			// The extension needs its own machine configuration.
+			base := dsRun(o, size, harness.MixModerate, mkRBTree, []harness.SchemeSpec{
+				{Scheme: "Standard", Lock: lock},
+				{Scheme: "HLE", Lock: lock},
+				{Scheme: "HLE-SCM", Lock: lock},
+			}, o.Threads)
+			ext := dsRunHWExt(o, size, harness.MixModerate, lock)
+			std := base["Standard "+lock].Throughput
+			tb.AddRow(stats.SizeLabel(size),
+				stats.F2(base["HLE "+lock].Throughput/std),
+				stats.F2(ext.Throughput/std),
+				stats.F2(base["HLE-SCM "+lock].Throughput/std),
+				stats.F3(ext.Ops.NonSpecFraction()),
+				stats.F3(base["HLE "+lock].Ops.NonSpecFraction()))
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}
+
+// dsRunHWExt runs the HLE scheme on a machine with the Chapter 7 extension
+// enabled.
+func dsRunHWExt(o Options, size int, mix harness.Mix, lock string) harness.Result {
+	cfg := machineCfg(o, size)
+	cfg.HWExt = true
+	return harness.Point(cfg, harness.SchemeSpec{Scheme: "HLE-HWExt", Lock: lock},
+		func(t *tsx.Thread) harness.Workload { return harness.NewRBTree(t, size, mix) },
+		harness.Config{Threads: o.Threads, CycleBudget: o.Budget})
+}

@@ -1,0 +1,111 @@
+package figures
+
+import (
+	"fmt"
+
+	"hle/internal/harness"
+	"hle/internal/stats"
+	"hle/internal/tsx"
+)
+
+// tsxThread shortens signatures in this file.
+type tsxThread = tsx.Thread
+
+// ExtScaling extends Figure 5.1 beyond the paper's 8-thread Haswell: the
+// simulator models up to 64 hardware threads, letting us ask whether SCM's
+// advantage grows or saturates at higher core counts.
+func ExtScaling(o Options) []*stats.Table {
+	o = o.withDefaults()
+	const size = 128
+	counts := []int{1, 2, 4, 8, 16, 32}
+	if o.Quick {
+		counts = []int{1, 8, 32}
+	}
+	base := dsRun(o, size, harness.MixModerate, mkRBTree,
+		[]harness.SchemeSpec{{Scheme: "NoLock"}}, 1)["NoLock"].Throughput
+
+	tb := &stats.Table{
+		Title:  "Extension — scaling beyond the paper's 8 threads (128-node tree, 10/10/80, MCS lock)",
+		Header: []string{"threads", "Standard", "HLE", "HLE-SCM", "Opt-SLR-SCM"},
+	}
+	for _, n := range counts {
+		oN := o
+		oN.Threads = n
+		res := dsRun(oN, size, harness.MixModerate, mkRBTree, []harness.SchemeSpec{
+			{Scheme: "Standard", Lock: "MCS"},
+			{Scheme: "HLE", Lock: "MCS"},
+			{Scheme: "HLE-SCM", Lock: "MCS"},
+			{Scheme: "Opt-SLR-SCM", Lock: "MCS"},
+		}, n)
+		tb.AddRow(stats.I(n),
+			stats.F2(res["Standard MCS"].Throughput/base),
+			stats.F2(res["HLE MCS"].Throughput/base),
+			stats.F2(res["HLE-SCM MCS"].Throughput/base),
+			stats.F2(res["Opt-SLR-SCM MCS"].Throughput/base))
+	}
+	return []*stats.Table{tb}
+}
+
+// ExtCSLength probes sensitivity to critical-section length at a fixed
+// conflict probability: the longer the transaction, the wider the window
+// in which a single abort can avalanche, and the more SCM buys.
+func ExtCSLength(o Options) []*stats.Table {
+	o = o.withDefaults()
+	lengths := []uint64{0, 50, 200, 800}
+	if o.Quick {
+		lengths = []uint64{0, 400}
+	}
+	tb := &stats.Table{
+		Title:  "Extension — critical-section length sensitivity (128-node tree, 10/10/80, MCS lock)",
+		Header: []string{"extra work/op", "HLE non-spec", "SCM non-spec", "SCM/HLE speedup"},
+	}
+	for _, extra := range lengths {
+		res := dsRunExtraWork(o, extra)
+		tb.AddRow(stats.U(extra),
+			stats.F3(res["HLE MCS"].Ops.NonSpecFraction()),
+			stats.F3(res["HLE-SCM MCS"].Ops.NonSpecFraction()),
+			stats.F2(res["HLE-SCM MCS"].Throughput/res["HLE MCS"].Throughput))
+	}
+	return []*stats.Table{tb}
+}
+
+// paddedWorkload stretches every critical section with extra computation
+// without changing its data footprint.
+type paddedWorkload struct {
+	inner harness.Workload
+	extra uint64
+}
+
+// Name implements harness.Workload.
+func (w *paddedWorkload) Name() string {
+	return fmt.Sprintf("%s+work(%d)", w.inner.Name(), w.extra)
+}
+
+// Populate implements harness.Workload.
+func (w *paddedWorkload) Populate(t *tsxThread) { w.inner.Populate(t) }
+
+// NextOp implements harness.Workload.
+func (w *paddedWorkload) NextOp(t *tsxThread) func() {
+	cs := w.inner.NextOp(t)
+	if w.extra == 0 {
+		return cs
+	}
+	extra := w.extra
+	return func() {
+		cs()
+		t.Work(extra)
+	}
+}
+
+// dsRunExtraWork measures HLE and HLE-SCM over the padded workload.
+func dsRunExtraWork(o Options, extra uint64) map[string]harness.Result {
+	const size = 128
+	return dsRun(o, size, harness.MixModerate,
+		func(t *tsxThread, sz int, mix harness.Mix) harness.Workload {
+			return &paddedWorkload{inner: harness.NewRBTree(t, sz, mix), extra: extra}
+		},
+		[]harness.SchemeSpec{
+			{Scheme: "HLE", Lock: "MCS"},
+			{Scheme: "HLE-SCM", Lock: "MCS"},
+		}, o.Threads)
+}

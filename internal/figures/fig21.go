@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"hle/internal/mem"
+	"hle/internal/stats"
+	"hle/internal/tsx"
+)
+
+// Fig21 reproduces Figure 2.1: a single thread runs transactions that read
+// (or write) every cache line of an array of a given size, and we report
+// the fraction of transactions that fail. The write curve must hit a wall
+// at the 32 KB L1; the read curve survives past the L2 into the megabytes
+// before eviction failures take over; and both show a small spurious-abort
+// floor even for tiny sets.
+func Fig21(o Options) []*stats.Table {
+	o = o.withDefaults()
+	sizesBytes := []int{128, 512, 2 << 10, 8 << 10, 32 << 10, 128 << 10,
+		512 << 10, 2 << 20, 4 << 20, 6 << 20, 8 << 20}
+	reps := 3000
+	if o.Quick {
+		sizesBytes = []int{128, 8 << 10, 32 << 10, 64 << 10, 2 << 20, 8 << 20}
+		reps = 400
+	}
+
+	table := &stats.Table{
+		Title:  "Fig 2.1 — sporadic speculative failures, 1 thread, no contention",
+		Header: []string{"set size", "read fail frac", "write fail frac"},
+	}
+	for _, bytes := range sizesBytes {
+		lines := bytes / 64
+		if lines == 0 {
+			lines = 1
+		}
+		// Small sets get extra repetitions to resolve the ~1e-4
+		// spurious floor; large sets need fewer (their failure rates
+		// are large and each transaction is long).
+		r := reps
+		if lines <= 512 && !o.Quick {
+			r = reps * 10
+		}
+		if lines > 4096 {
+			r = reps / 10
+			if r < 30 {
+				r = 30
+			}
+		}
+		readFail := setScan(o, lines, r, false)
+		writeFail := setScan(o, lines, r, true)
+		table.AddRow(stats.SizeLabel(bytes), stats.E2(readFail), stats.E2(writeFail))
+	}
+	return []*stats.Table{table}
+}
+
+// setScan runs reps transactions touching n distinct lines and returns the
+// failure fraction.
+func setScan(o Options, n, reps int, write bool) float64 {
+	cfg := tsx.DefaultConfig(1)
+	cfg.Seed = o.Seed
+	cfg.MemWords = (n + 8) * mem.LineWords
+	m := tsx.NewMachine(cfg)
+	failures := 0
+	m.RunOne(func(t *tsx.Thread) {
+		arr := t.AllocLines(n * mem.LineWords)
+		for i := 0; i < reps; i++ {
+			ok, _ := t.RTM(func() {
+				for l := 0; l < n; l++ {
+					a := arr + mem.Addr(l*mem.LineWords)
+					if write {
+						t.Store(a, uint64(i))
+					} else {
+						_ = t.Load(a)
+					}
+				}
+			})
+			if !ok {
+				failures++
+			}
+		}
+	})
+	return float64(failures) / float64(reps)
+}

@@ -1,0 +1,162 @@
+package figures
+
+import (
+	"fmt"
+
+	"hle/internal/harness"
+	"hle/internal/stats"
+)
+
+// schemeSet51 is the §5.1 methodology matrix for one lock.
+func schemeSet51(lock string) []harness.SchemeSpec {
+	return []harness.SchemeSpec{
+		{Scheme: "Standard", Lock: lock},
+		{Scheme: "HLE", Lock: lock},
+		{Scheme: "HLE-SCM", Lock: lock},
+		{Scheme: "Opt-SLR", Lock: lock},
+		{Scheme: "Opt-SLR-SCM", Lock: lock},
+	}
+}
+
+// Fig51 reproduces Figure 5.1: speedup versus thread count on a 128-node
+// tree under moderate contention, normalized to a single thread with no
+// locking. The software-assisted schemes must scale while plain HLE (and
+// especially HLE MCS) stall.
+func Fig51(o Options) []*stats.Table {
+	o = o.withDefaults()
+	const size = 128
+	threadCounts := []int{1, 2, 4, 8}
+	if o.Quick {
+		threadCounts = []int{1, 4, 8}
+	}
+
+	// The normalization baseline: one thread, no locking at all.
+	base := dsRun(o, size, harness.MixModerate, mkRBTree,
+		[]harness.SchemeSpec{{Scheme: "NoLock"}}, 1)["NoLock"].Throughput
+
+	var tables []*stats.Table
+	for _, lock := range []string{"TTAS", "MCS"} {
+		tb := &stats.Table{
+			Title: fmt.Sprintf("Fig 5.1 — speedup vs 1-thread no-locking baseline, %s lock, 128-node tree, 10/10/80",
+				lock),
+			Header: []string{"threads", "Standard", "HLE", "HLE-SCM", "Opt-SLR", "Opt-SLR-SCM"},
+		}
+		for _, n := range threadCounts {
+			res := dsRun(o, size, harness.MixModerate, mkRBTree, schemeSet51(lock), n)
+			tb.AddRow(stats.I(n),
+				stats.F2(res["Standard "+lock].Throughput/base),
+				stats.F2(res["HLE "+lock].Throughput/base),
+				stats.F2(res["HLE-SCM "+lock].Throughput/base),
+				stats.F2(res["Opt-SLR "+lock].Throughput/base),
+				stats.F2(res["Opt-SLR-SCM "+lock].Throughput/base))
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}
+
+// schemeSet52 is the §5.2 sweep matrix for one lock.
+func schemeSet52(lock string) []harness.SchemeSpec {
+	return []harness.SchemeSpec{
+		{Scheme: "HLE", Lock: lock},
+		{Scheme: "HLE-SCM", Lock: lock},
+		{Scheme: "Pes-SLR", Lock: lock},
+		{Scheme: "Opt-SLR", Lock: lock},
+		{Scheme: "Opt-SLR-SCM", Lock: lock},
+	}
+}
+
+// Fig52 reproduces Figure 5.2: the speedup of each software-assisted scheme
+// over the plain-HLE version of the same lock, across tree sizes and the
+// three contention levels.
+func Fig52(o Options) []*stats.Table {
+	o = o.withDefaults()
+	var tables []*stats.Table
+	for _, lock := range []string{"TTAS", "MCS"} {
+		for _, mix := range []harness.Mix{harness.MixLookupOnly, harness.MixModerate, harness.MixExtensive} {
+			tb := &stats.Table{
+				Title: fmt.Sprintf("Fig 5.2 — speedup vs plain HLE baseline, %s lock, mix %s, %d threads",
+					lock, mix, o.Threads),
+				Header: []string{"tree size", "HLE-SCM", "Pes-SLR", "Opt-SLR", "Opt-SLR-SCM"},
+			}
+			for _, size := range treeSizes(o) {
+				res := dsRun(o, size, mix, mkRBTree, schemeSet52(lock), o.Threads)
+				base := res["HLE "+lock].Throughput
+				tb.AddRow(stats.SizeLabel(size),
+					stats.F2(res["HLE-SCM "+lock].Throughput/base),
+					stats.F2(res["Pes-SLR "+lock].Throughput/base),
+					stats.F2(res["Opt-SLR "+lock].Throughput/base),
+					stats.F2(res["Opt-SLR-SCM "+lock].Throughput/base))
+			}
+			tables = append(tables, tb)
+		}
+	}
+	return tables
+}
+
+// Fig53 reproduces Figure 5.3: under the extensive 50/50 mix, the average
+// execution attempts per critical section and the non-speculative fraction
+// — left pane compares HLE-SCM MCS against plain HLE MCS; right pane
+// compares the software-assisted TTAS schemes.
+func Fig53(o Options) []*stats.Table {
+	o = o.withDefaults()
+	left := &stats.Table{
+		Title:  "Fig 5.3 (left) — HLE-SCM impact on the MCS lock, 50/50 mix, 8 threads",
+		Header: []string{"tree size", "SCM attempts", "HLE attempts", "SCM non-spec", "HLE non-spec"},
+	}
+	right := &stats.Table{
+		Title:  "Fig 5.3 (right) — software-assisted TTAS schemes, 50/50 mix, 8 threads",
+		Header: []string{"tree size", "HLE-SCM att", "Opt-SLR att", "SLR-SCM att", "HLE-SCM ns", "Opt-SLR ns", "SLR-SCM ns"},
+	}
+	for _, size := range treeSizes(o) {
+		res := dsRun(o, size, harness.MixExtensive, mkRBTree, []harness.SchemeSpec{
+			{Scheme: "HLE", Lock: "MCS"},
+			{Scheme: "HLE-SCM", Lock: "MCS"},
+			{Scheme: "HLE-SCM", Lock: "TTAS"},
+			{Scheme: "Opt-SLR", Lock: "TTAS"},
+			{Scheme: "Opt-SLR-SCM", Lock: "TTAS"},
+		}, o.Threads)
+		left.AddRow(stats.SizeLabel(size),
+			stats.F2(res["HLE-SCM MCS"].Ops.AttemptsPerOp()),
+			stats.F2(res["HLE MCS"].Ops.AttemptsPerOp()),
+			stats.F3(res["HLE-SCM MCS"].Ops.NonSpecFraction()),
+			stats.F3(res["HLE MCS"].Ops.NonSpecFraction()))
+		right.AddRow(stats.SizeLabel(size),
+			stats.F2(res["HLE-SCM TTAS"].Ops.AttemptsPerOp()),
+			stats.F2(res["Opt-SLR TTAS"].Ops.AttemptsPerOp()),
+			stats.F2(res["Opt-SLR-SCM TTAS"].Ops.AttemptsPerOp()),
+			stats.F3(res["HLE-SCM TTAS"].Ops.NonSpecFraction()),
+			stats.F3(res["Opt-SLR TTAS"].Ops.NonSpecFraction()),
+			stats.F3(res["Opt-SLR-SCM TTAS"].Ops.NonSpecFraction()))
+	}
+	return []*stats.Table{left, right}
+}
+
+// FigHashTable is the §5.2 hash-table companion benchmark: the same scheme
+// comparison on uniformly short transactions.
+func FigHashTable(o Options) []*stats.Table {
+	o = o.withDefaults()
+	sizes := []int{64, 512, 4096}
+	if o.Quick {
+		sizes = []int{64, 1024}
+	}
+	var tables []*stats.Table
+	for _, lock := range []string{"TTAS", "MCS"} {
+		tb := &stats.Table{
+			Title: fmt.Sprintf("§5.2 hash table — speedup vs plain HLE baseline, %s lock, 10/10/80, %d threads",
+				lock, o.Threads),
+			Header: []string{"table size", "HLE-SCM", "Pes-SLR", "Opt-SLR", "Opt-SLR-SCM"},
+		}
+		for _, size := range sizes {
+			res := dsRun(o, size, harness.MixModerate, mkHashTable, schemeSet52(lock), o.Threads)
+			base := res["HLE "+lock].Throughput
+			tb.AddRow(stats.SizeLabel(size),
+				stats.F2(res["HLE-SCM "+lock].Throughput/base),
+				stats.F2(res["Pes-SLR "+lock].Throughput/base),
+				stats.F2(res["Opt-SLR "+lock].Throughput/base),
+				stats.F2(res["Opt-SLR-SCM "+lock].Throughput/base))
+		}
+		tables = append(tables, tb)
+	}
+	return tables
+}

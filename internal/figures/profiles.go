@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"hle/internal/harness"
+	"hle/internal/stamp"
+	"hle/internal/stats"
+	"hle/internal/tsx"
+)
+
+// FigProfiles characterizes every workload's committed transactions — mean
+// accesses, read-set lines, and write-set lines — the evidence that the
+// re-implemented STAMP applications match the published STAMP
+// characterization (vacation long transactions, kmeans tiny ones, ssca2
+// minimal sets) and that the data-structure benchmarks span the intended
+// spectrum.
+func FigProfiles(o Options) []*stats.Table {
+	o = o.withDefaults()
+	tb := &stats.Table{
+		Title:  "Workload transaction profiles (committed transactions under Opt-SLR, 8 threads)",
+		Header: []string{"workload", "mean accesses", "read lines", "write lines", "attempts/op"},
+	}
+
+	// STAMP applications.
+	for _, app := range stamp.Apps() {
+		cfg := tsx.DefaultConfig(o.Threads)
+		cfg.Seed = o.Seed
+		cfg.MemWords = 1 << 19
+		res, err := stamp.Run(cfg, harness.SchemeSpec{Scheme: "Opt-SLR", Lock: "TTAS"}, app.Make, o.Threads)
+		if err != nil {
+			panic(err)
+		}
+		tb.AddRow(app.Name,
+			stats.F2(res.TSX.MeanAccesses()),
+			stats.F2(res.TSX.MeanReadLines()),
+			stats.F2(res.TSX.MeanWriteLines()),
+			stats.F2(res.Ops.AttemptsPerOp()))
+	}
+
+	// Data-structure benchmarks at two sizes for context.
+	for _, size := range []int{128, 32768} {
+		res := dsRun(o, size, harness.MixModerate, mkRBTree,
+			[]harness.SchemeSpec{{Scheme: "Opt-SLR", Lock: "TTAS"}}, o.Threads)["Opt-SLR TTAS"]
+		tb.AddRow("rbtree-"+stats.SizeLabel(size),
+			stats.F2(res.TSX.MeanAccesses()),
+			stats.F2(res.TSX.MeanReadLines()),
+			stats.F2(res.TSX.MeanWriteLines()),
+			stats.F2(res.Ops.AttemptsPerOp()))
+	}
+	res := dsRun(o, 1024, harness.MixModerate, mkHashTable,
+		[]harness.SchemeSpec{{Scheme: "Opt-SLR", Lock: "TTAS"}}, o.Threads)["Opt-SLR TTAS"]
+	tb.AddRow("hashtable-1K",
+		stats.F2(res.TSX.MeanAccesses()),
+		stats.F2(res.TSX.MeanReadLines()),
+		stats.F2(res.TSX.MeanWriteLines()),
+		stats.F2(res.Ops.AttemptsPerOp()))
+
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,173 @@
+package harness_test
+
+import (
+	"testing"
+
+	"hle/internal/core"
+	"hle/internal/locks"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// The tests in this file validate the simulator's virtual-time semantics
+// against closed-form expectations — the foundation every figure rests on.
+
+// jitterFreeCfg returns a machine config with deterministic costs.
+func jitterFreeCfg(n int, seed int64) tsx.Config {
+	cfg := tsx.DefaultConfig(n)
+	cfg.Seed = seed
+	cfg.SpuriousPerAccess = 0
+	cfg.CostJitter = -1
+	return cfg
+}
+
+// TestNoLockScalesLinearly: disjoint work under no locking must scale
+// (throughput in ops per cycle) linearly with thread count, because
+// virtual time advances independently per thread.
+func TestNoLockScalesLinearly(t *testing.T) {
+	run := func(threads int) float64 {
+		m := tsx.NewMachine(jitterFreeCfg(threads, 3))
+		var cells [8]mem.Addr
+		m.RunOne(func(th *tsx.Thread) {
+			for i := range cells {
+				cells[i] = th.AllocLines(1)
+			}
+		})
+		const perThread = 500
+		var maxClock uint64
+		ths := m.Run(threads, func(th *tsx.Thread) {
+			for i := 0; i < perThread; i++ {
+				c := cells[th.ID]
+				th.Store(c, th.Load(c)+1)
+				th.Work(10)
+			}
+		})
+		for _, th := range ths {
+			if th.Clock() > maxClock {
+				maxClock = th.Clock()
+			}
+		}
+		return float64(threads*perThread) / float64(maxClock)
+	}
+	t1, t8 := run(1), run(8)
+	scaling := t8 / t1
+	if scaling < 7.9 || scaling > 8.1 {
+		t.Fatalf("8-thread disjoint scaling = %.2fx, want ≈8 (virtual time broken)", scaling)
+	}
+}
+
+// TestSerialLockThroughputMatchesCSLength: under a standard lock with
+// saturating demand, system throughput is 1/(critical-section virtual
+// length + handover cost), independent of thread count — Amdahl's law's
+// serial limit, computable exactly with jitter disabled.
+func TestSerialLockThroughputMatchesCSLength(t *testing.T) {
+	run := func(threads int) float64 {
+		m := tsx.NewMachine(jitterFreeCfg(threads, 5))
+		var s core.Scheme
+		var cell mem.Addr
+		m.RunOne(func(th *tsx.Thread) {
+			s = core.NewStandard(locks.NewTTAS(th))
+			cell = th.AllocLines(1)
+		})
+		const perThread = 300
+		var maxClock uint64
+		ths := m.Run(threads, func(th *tsx.Thread) {
+			s.Setup(th)
+			for i := 0; i < perThread; i++ {
+				s.Run(th, func() {
+					th.Store(cell, th.Load(cell)+1)
+					th.Work(100)
+				})
+			}
+		})
+		for _, th := range ths {
+			if th.Clock() > maxClock {
+				maxClock = th.Clock()
+			}
+		}
+		return float64(threads*perThread) / float64(maxClock)
+	}
+	t2, t8 := run(2), run(8)
+	// Serialized: more threads must NOT increase throughput.
+	if t8 > t2*1.15 {
+		t.Fatalf("serialized throughput grew with threads: %.5f -> %.5f", t2, t8)
+	}
+	// And it must be in the ballpark of 1/CS-length. CS ≈ lock RMW(20) +
+	// load(4)+store(4)+work(100)+unlock store(4) ≈ 132 cycles plus spin
+	// overhead on waiters.
+	if perOp := 1 / t8; perOp < 120 || perOp > 400 {
+		t.Fatalf("serialized per-op virtual time %.0f cycles, expected 132–400", perOp)
+	}
+}
+
+// TestElisionReachesParallelLimit: fully disjoint critical sections under
+// HLE approach the no-lock parallel limit within the begin/commit overhead.
+func TestElisionReachesParallelLimit(t *testing.T) {
+	m := tsx.NewMachine(jitterFreeCfg(8, 7))
+	var s core.Scheme
+	var cells [8]mem.Addr
+	m.RunOne(func(th *tsx.Thread) {
+		s = core.NewHLE(locks.NewTTAS(th))
+		for i := range cells {
+			cells[i] = th.AllocLines(1)
+		}
+	})
+	const perThread = 300
+	var maxClock uint64
+	ths := m.Run(8, func(th *tsx.Thread) {
+		s.Setup(th)
+		for i := 0; i < perThread; i++ {
+			s.Run(th, func() {
+				c := cells[th.ID]
+				th.Store(c, th.Load(c)+1)
+				th.Work(100)
+			})
+		}
+	})
+	for _, th := range ths {
+		if th.Clock() > maxClock {
+			maxClock = th.Clock()
+		}
+	}
+	if s.TotalStats().NonSpecFraction() > 0.01 {
+		t.Fatalf("disjoint elision serialized %.3f of ops", s.TotalStats().NonSpecFraction())
+	}
+	// Per-op virtual time ≈ CS(108) + elide RMW+begin(60) + release(4) +
+	// commit(30) ≈ 202 cycles; with perfect overlap each thread's clock
+	// advances by its own ops only.
+	perOp := float64(maxClock) / perThread
+	if perOp < 180 || perOp > 260 {
+		t.Fatalf("elided per-op virtual time %.0f, expected ≈202 (no serialization)", perOp)
+	}
+}
+
+// TestVirtualTimeUnaffectedByOtherThreads: a thread doing fixed work ends
+// at the same virtual clock whether it runs alone or with 7 independent
+// peers (virtual clocks only advance with own costs).
+func TestVirtualTimeUnaffectedByOtherThreads(t *testing.T) {
+	clockOf := func(threads int) uint64 {
+		m := tsx.NewMachine(jitterFreeCfg(threads, 9))
+		var cells [8]mem.Addr
+		m.RunOne(func(th *tsx.Thread) {
+			for i := range cells {
+				cells[i] = th.AllocLines(1)
+			}
+		})
+		var clock0 uint64
+		m.Run(threads, func(th *tsx.Thread) {
+			for i := 0; i < 200; i++ {
+				th.Store(cells[th.ID], uint64(i))
+				th.Work(7)
+			}
+			if th.ID == 0 {
+				clock0 = th.Clock()
+			}
+		})
+		return clock0
+	}
+	alone, crowded := clockOf(1), clockOf(8)
+	if alone != crowded {
+		t.Fatalf("thread 0's clock differs alone (%d) vs crowded (%d): virtual time leaked between threads",
+			alone, crowded)
+	}
+}

@@ -1,0 +1,179 @@
+// Package harness runs the paper's benchmark methodology: N simulated
+// threads continuously executing critical sections over a shared data
+// structure under a (lock × elision-scheme) combination, for a fixed
+// virtual-time budget, collecting throughput, attempts-per-operation,
+// non-speculative fractions, and time-sliced dynamics.
+package harness
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/hwext"
+	"hle/internal/locks"
+	"hle/internal/stats"
+	"hle/internal/tsx"
+)
+
+// Workload produces critical-section closures over a pre-populated
+// structure in simulated memory.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Populate builds the initial structure; called once, single-threaded.
+	Populate(t *tsx.Thread)
+	// NextOp draws the next operation (using the thread's deterministic
+	// RNG) and returns it as a critical-section closure. The closure
+	// must be idempotent under rollback, which all simulated-memory
+	// operations are.
+	NextOp(t *tsx.Thread) func()
+}
+
+// Config controls one measurement run.
+type Config struct {
+	// Threads is the number of worker threads.
+	Threads int
+	// CycleBudget is the measured window in virtual cycles: each thread
+	// issues operations until its clock passes Warmup+CycleBudget, and
+	// operations completing before Warmup are excluded from statistics.
+	CycleBudget uint64
+	// Warmup discards the run's initial transient. The paper measures
+	// 3-second steady states (~10^10 cycles), so its avalanche-trigger
+	// transients are invisible; a short simulated window must skip them
+	// explicitly to measure the same steady state.
+	Warmup uint64
+	// SliceCycles enables time-sliced collection (Figure 3.3) when
+	// non-zero. The timeline covers the whole run including warmup.
+	SliceCycles uint64
+}
+
+// Result is the outcome of one measurement run.
+type Result struct {
+	// Ops aggregates operation-level statistics across threads.
+	Ops core.OpStats
+	// MaxClock is the virtual time at which the last thread stopped.
+	MaxClock uint64
+	// Throughput is completed operations per million cycles.
+	Throughput float64
+	// TSX aggregates transaction-level statistics across threads.
+	TSX tsx.Stats
+	// Timeline is the per-slot series (nil unless SliceCycles was set).
+	Timeline *stats.Timeline
+}
+
+// Run executes the workload under scheme on machine m.
+func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
+	if cfg.Threads <= 0 || cfg.CycleBudget == 0 {
+		panic(fmt.Sprintf("harness: bad config %+v", cfg))
+	}
+	var timeline *stats.Timeline
+	if cfg.SliceCycles > 0 {
+		timeline = stats.NewTimeline(cfg.SliceCycles)
+	}
+	end := cfg.Warmup + cfg.CycleBudget
+	var res Result
+	threads := m.Run(cfg.Threads, func(t *tsx.Thread) {
+		scheme.Setup(t)
+		for t.Clock() < end {
+			cs := w.NextOp(t)
+			r := scheme.Run(t, cs)
+			// Shared state is safe: simulated execution is
+			// token-serialized.
+			if timeline != nil {
+				timeline.Record(t.Clock(), r.Spec)
+			}
+			if t.Clock() >= cfg.Warmup {
+				res.Ops.Ops++
+				res.Ops.Attempts += r.Attempts
+				if r.Spec {
+					res.Ops.Spec++
+				} else {
+					res.Ops.NonSpec++
+				}
+			}
+		}
+	})
+	for _, t := range threads {
+		res.TSX.Add(t.Stats)
+		if t.Clock() > res.MaxClock {
+			res.MaxClock = t.Clock()
+		}
+	}
+	if res.MaxClock > cfg.Warmup {
+		res.Throughput = float64(res.Ops.Ops) * 1e6 / float64(res.MaxClock-cfg.Warmup)
+	}
+	res.Timeline = timeline
+	return res
+}
+
+// SchemeSpec names a scheme and, where applicable, how to build it.
+type SchemeSpec struct {
+	// Scheme is one of: Standard, NoLock, HLE, HLE-HWExt, RTM-LE,
+	// HLE-SCM, HLE-SCM-ideal, HLE-SCM-multi, Pes-SLR, Opt-SLR,
+	// Opt-SLR-SCM.
+	Scheme string
+	// Lock is a locks.MakerByName name: TTAS, MCS, Ticket, AdjTicket,
+	// CLH, AdjCLH. Ignored by NoLock.
+	Lock string
+}
+
+// String renders "Scheme/Lock".
+func (s SchemeSpec) String() string {
+	if s.Scheme == "NoLock" {
+		return s.Scheme
+	}
+	return s.Scheme + " " + s.Lock
+}
+
+// Build constructs the scheme (and its locks) in t's simulated memory.
+// SCM variants always use an MCS auxiliary lock, the starvation-free lock
+// the paper requires.
+func (s SchemeSpec) Build(t *tsx.Thread) core.Scheme {
+	if s.Scheme == "NoLock" {
+		return core.NewNoLock()
+	}
+	mk := locks.MakerByName(s.Lock)
+	if mk == nil {
+		panic("harness: unknown lock " + s.Lock)
+	}
+	main := mk(t)
+	aux := func() locks.Lock { return locks.NewMCS(t) }
+	switch s.Scheme {
+	case "Standard":
+		return core.NewStandard(main)
+	case "HLE":
+		return core.NewHLE(main)
+	case "HLE-HWExt":
+		return hwext.New(main)
+	case "RTM-LE":
+		return core.NewRTMLE(main)
+	case "HLE-SCM":
+		return core.NewHLESCM(main, aux(), core.SCMConfig{})
+	case "HLE-SCM-ideal":
+		return core.NewHLESCM(main, aux(), core.SCMConfig{Ideal: true})
+	case "HLE-SCM-multi":
+		return core.NewHLESCMMulti(main, []locks.Lock{aux(), aux(), aux(), aux()}, core.SCMConfig{})
+	case "Pes-SLR":
+		return core.NewPessimisticSLR(main)
+	case "Opt-SLR":
+		return core.NewSLR(main, 0)
+	case "Opt-SLR-SCM":
+		return core.NewSLRSCM(main, aux(), core.SCMConfig{})
+	}
+	panic("harness: unknown scheme " + s.Scheme)
+}
+
+// Point runs one full experiment point: a fresh machine is built from
+// mcfg, the workload is created and populated, the scheme is built, and
+// the measurement runs.
+func Point(mcfg tsx.Config, spec SchemeSpec, mkWorkload func(t *tsx.Thread) Workload, cfg Config) Result {
+	m := tsx.NewMachine(mcfg)
+	var scheme core.Scheme
+	var w Workload
+	m.RunOne(func(t *tsx.Thread) {
+		w = mkWorkload(t)
+		w.Populate(t)
+		scheme = spec.Build(t)
+	})
+	return Run(m, scheme, w, cfg)
+}

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+
+	"hle/internal/hashtable"
+	"hle/internal/rbtree"
+	"hle/internal/tsx"
+)
+
+// Mix is an operation distribution in percent (the remainder are lookups).
+// The paper's three contention levels are: lookups only (0/0), moderate
+// (10/10), and extensive (50/50).
+type Mix struct {
+	InsertPct int
+	DeletePct int
+}
+
+// Paper mixes.
+var (
+	MixLookupOnly = Mix{0, 0}
+	MixModerate   = Mix{10, 10}
+	MixExtensive  = Mix{50, 50}
+)
+
+// String renders "i/d/l".
+func (m Mix) String() string {
+	return fmt.Sprintf("%d/%d/%d", m.InsertPct, m.DeletePct, 100-m.InsertPct-m.DeletePct)
+}
+
+// RBTree is the red-black tree workload of Chapters 3 and 5: a tree of a
+// given size, initially filled with random elements from a domain of twice
+// the size, exercised with a given operation mix.
+type RBTree struct {
+	Size int
+	Mix  Mix
+
+	tree *rbtree.Tree
+}
+
+// NewRBTree creates the workload structure (tree still empty).
+func NewRBTree(t *tsx.Thread, size int, mix Mix) *RBTree {
+	return &RBTree{Size: size, Mix: mix, tree: rbtree.New(t)}
+}
+
+// Name implements Workload.
+func (w *RBTree) Name() string {
+	return fmt.Sprintf("rbtree(size=%d,mix=%s)", w.Size, w.Mix)
+}
+
+// Populate fills the tree to its target size with random elements from a
+// domain of size 2*Size, as §3 specifies.
+func (w *RBTree) Populate(t *tsx.Thread) {
+	count := 0
+	for count < w.Size {
+		if w.tree.Insert(t, uint64(t.Rand().Intn(2*w.Size)), 1) {
+			count++
+		}
+	}
+}
+
+// Tree exposes the underlying tree (tests use this).
+func (w *RBTree) Tree() *rbtree.Tree { return w.tree }
+
+// NextOp implements Workload.
+func (w *RBTree) NextOp(t *tsx.Thread) func() {
+	key := uint64(t.Rand().Intn(2 * w.Size))
+	p := t.Rand().Intn(100)
+	switch {
+	case p < w.Mix.InsertPct:
+		return func() { w.tree.Insert(t, key, 1) }
+	case p < w.Mix.InsertPct+w.Mix.DeletePct:
+		return func() { w.tree.Delete(t, key) }
+	default:
+		return func() { w.tree.Contains(t, key) }
+	}
+}
+
+// HashTable is the §5.2 hash-table workload: same shape as RBTree but over
+// a chained hash table, so critical sections are uniformly short.
+type HashTable struct {
+	Size int
+	Mix  Mix
+
+	table *hashtable.Table
+}
+
+// NewHashTable creates the workload structure.
+func NewHashTable(t *tsx.Thread, size int, mix Mix) *HashTable {
+	return &HashTable{Size: size, Mix: mix, table: hashtable.New(t, size)}
+}
+
+// Name implements Workload.
+func (w *HashTable) Name() string {
+	return fmt.Sprintf("hashtable(size=%d,mix=%s)", w.Size, w.Mix)
+}
+
+// Populate fills the table to its target size.
+func (w *HashTable) Populate(t *tsx.Thread) {
+	filled := 0
+	for filled < w.Size {
+		if w.table.Insert(t, uint64(t.Rand().Intn(2*w.Size)), 1) {
+			filled++
+		}
+	}
+}
+
+// NextOp implements Workload.
+func (w *HashTable) NextOp(t *tsx.Thread) func() {
+	key := uint64(t.Rand().Intn(2 * w.Size))
+	p := t.Rand().Intn(100)
+	switch {
+	case p < w.Mix.InsertPct:
+		return func() { w.table.Insert(t, key, 1) }
+	case p < w.Mix.InsertPct+w.Mix.DeletePct:
+		return func() { w.table.Delete(t, key) }
+	default:
+		return func() { w.table.Contains(t, key) }
+	}
+}

@@ -1,0 +1,116 @@
+// Package hashtable implements the second §5.2 data-structure benchmark: a
+// chained hash table over simulated memory. Its critical sections are
+// always short, so as the paper notes it "zooms in" on the short-transaction
+// end of the red-black tree workload spectrum.
+package hashtable
+
+import (
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Node field offsets (words).
+const (
+	offKey  = 0
+	offVal  = 1
+	offNext = 2
+
+	nodeWords = 3
+)
+
+// Table is a fixed-size chained hash table.
+type Table struct {
+	buckets mem.Addr
+	nbkt    uint64
+}
+
+// New allocates a table with nbkt buckets (rounded up to a power of two).
+func New(t *tsx.Thread, nbkt int) *Table {
+	n := uint64(1)
+	for n < uint64(nbkt) {
+		n *= 2
+	}
+	return &Table{buckets: t.Alloc(int(n)), nbkt: n}
+}
+
+// hash mixes the key (64-bit finalizer from SplitMix64).
+func (h *Table) hash(key uint64) mem.Addr {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return h.buckets + mem.Addr(key&(h.nbkt-1))
+}
+
+// Lookup returns the value stored under key.
+func (h *Table) Lookup(t *tsx.Thread, key uint64) (uint64, bool) {
+	n := mem.Addr(t.Load(h.hash(key)))
+	for n != mem.Nil {
+		if t.Load(n+offKey) == key {
+			return t.Load(n + offVal), true
+		}
+		n = mem.Addr(t.Load(n + offNext))
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (h *Table) Contains(t *tsx.Thread, key uint64) bool {
+	_, ok := h.Lookup(t, key)
+	return ok
+}
+
+// Insert adds key→val, returning true if the key was absent (an existing
+// key's value is updated).
+func (h *Table) Insert(t *tsx.Thread, key, val uint64) bool {
+	bkt := h.hash(key)
+	n := mem.Addr(t.Load(bkt))
+	for ; n != mem.Nil; n = mem.Addr(t.Load(n + offNext)) {
+		if t.Load(n+offKey) == key {
+			if t.Load(n+offVal) != val {
+				t.Store(n+offVal, val)
+			}
+			return false
+		}
+	}
+	node := t.Alloc(nodeWords)
+	t.Store(node+offKey, key)
+	if val != 0 {
+		t.Store(node+offVal, val)
+	}
+	if head := t.Load(bkt); head != 0 {
+		t.Store(node+offNext, head)
+	}
+	t.Store(bkt, uint64(node))
+	return true
+}
+
+// Delete removes key, returning true if it was present.
+func (h *Table) Delete(t *tsx.Thread, key uint64) bool {
+	bkt := h.hash(key)
+	prev := bkt
+	n := mem.Addr(t.Load(bkt))
+	for n != mem.Nil {
+		next := mem.Addr(t.Load(n + offNext))
+		if t.Load(n+offKey) == key {
+			t.Store(prev, uint64(next))
+			t.Free(n, nodeWords)
+			return true
+		}
+		prev = n + offNext
+		n = next
+	}
+	return false
+}
+
+// Size counts all entries (setup/test use only).
+func (h *Table) Size(t *tsx.Thread) int {
+	total := 0
+	for b := uint64(0); b < h.nbkt; b++ {
+		for n := mem.Addr(t.Load(h.buckets + mem.Addr(b))); n != mem.Nil; n = mem.Addr(t.Load(n + offNext)) {
+			total++
+		}
+	}
+	return total
+}

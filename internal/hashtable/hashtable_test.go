@@ -1,0 +1,187 @@
+package hashtable_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hle/internal/core"
+	"hle/internal/hashtable"
+	"hle/internal/locks"
+	"hle/internal/tsx"
+)
+
+func newMachine(n int, seed int64) *tsx.Machine {
+	cfg := tsx.DefaultConfig(n)
+	cfg.Seed = seed
+	cfg.SpuriousPerAccess = 0
+	cfg.MemWords = 1 << 18
+	return tsx.NewMachine(cfg)
+}
+
+func TestBasicOps(t *testing.T) {
+	m := newMachine(1, 1)
+	m.RunOne(func(th *tsx.Thread) {
+		h := hashtable.New(th, 16)
+		if h.Contains(th, 9) {
+			t.Fatal("empty table contains 9")
+		}
+		if !h.Insert(th, 9, 90) {
+			t.Fatal("insert returned false")
+		}
+		if h.Insert(th, 9, 91) {
+			t.Fatal("re-insert returned true")
+		}
+		if v, ok := h.Lookup(th, 9); !ok || v != 91 {
+			t.Fatalf("lookup = %d,%v", v, ok)
+		}
+		if !h.Delete(th, 9) || h.Delete(th, 9) {
+			t.Fatal("delete semantics wrong")
+		}
+		if h.Size(th) != 0 {
+			t.Fatal("table not empty")
+		}
+	})
+}
+
+// TestCollisionChains exercises chains: with 4 buckets and many keys,
+// every bucket develops a chain and middle-of-chain deletion is hit.
+func TestCollisionChains(t *testing.T) {
+	m := newMachine(1, 2)
+	m.RunOne(func(th *tsx.Thread) {
+		h := hashtable.New(th, 4)
+		for k := uint64(0); k < 64; k++ {
+			if !h.Insert(th, k, k*10) {
+				t.Fatalf("insert %d failed", k)
+			}
+		}
+		if h.Size(th) != 64 {
+			t.Fatalf("size %d", h.Size(th))
+		}
+		for k := uint64(0); k < 64; k += 3 {
+			if !h.Delete(th, k) {
+				t.Fatalf("delete %d failed", k)
+			}
+		}
+		for k := uint64(0); k < 64; k++ {
+			want := k%3 != 0
+			if got := h.Contains(th, k); got != want {
+				t.Fatalf("contains(%d) = %v want %v", k, got, want)
+			}
+		}
+	})
+}
+
+func TestModelEquivalence(t *testing.T) {
+	m := newMachine(1, 3)
+	m.RunOne(func(th *tsx.Thread) {
+		h := hashtable.New(th, 32)
+		model := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(41))
+		for i := 0; i < 5000; i++ {
+			key := uint64(rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				val := uint64(rng.Intn(999)) + 1
+				_, had := model[key]
+				if got := h.Insert(th, key, val); got == had {
+					t.Fatalf("op %d: Insert(%d)=%v had=%v", i, key, got, had)
+				}
+				model[key] = val
+			case 1:
+				_, had := model[key]
+				if got := h.Delete(th, key); got != had {
+					t.Fatalf("op %d: Delete(%d)=%v had=%v", i, key, got, had)
+				}
+				delete(model, key)
+			default:
+				want, had := model[key]
+				got, ok := h.Lookup(th, key)
+				if ok != had || (had && got != want) {
+					t.Fatalf("op %d: Lookup(%d)=%d,%v want %d,%v", i, key, got, ok, want, had)
+				}
+			}
+		}
+		if h.Size(th) != len(model) {
+			t.Fatalf("size %d model %d", h.Size(th), len(model))
+		}
+	})
+}
+
+// TestSetSemanticsProperty: inserting then deleting any key set leaves the
+// table empty (property-based).
+func TestSetSemanticsProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		ok := true
+		m := newMachine(1, 5)
+		m.RunOne(func(th *tsx.Thread) {
+			h := hashtable.New(th, 8)
+			uniq := map[uint64]bool{}
+			for _, k := range keys {
+				h.Insert(th, k, 1)
+				uniq[k] = true
+			}
+			if h.Size(th) != len(uniq) {
+				ok = false
+				return
+			}
+			for k := range uniq {
+				if !h.Delete(th, k) {
+					ok = false
+				}
+			}
+			if h.Size(th) != 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentUnderHLESCM: concurrent table ops under the SCM scheme keep
+// size accounting exact.
+func TestConcurrentUnderHLESCM(t *testing.T) {
+	m := newMachine(8, 7)
+	var s core.Scheme
+	var h *hashtable.Table
+	m.RunOne(func(th *tsx.Thread) {
+		s = core.NewHLESCM(locks.NewMCS(th), locks.NewMCS(th), core.SCMConfig{})
+		h = hashtable.New(th, 64)
+	})
+	inserted := make([]int, 8)
+	deleted := make([]int, 8)
+	m.Run(8, func(th *tsx.Thread) {
+		s.Setup(th)
+		for i := 0; i < 150; i++ {
+			key := uint64(th.Rand().Intn(256))
+			switch th.Rand().Intn(4) {
+			case 0:
+				var ok bool
+				s.Run(th, func() { ok = h.Insert(th, key, key) })
+				if ok {
+					inserted[th.ID]++
+				}
+			case 1:
+				var ok bool
+				s.Run(th, func() { ok = h.Delete(th, key) })
+				if ok {
+					deleted[th.ID]++
+				}
+			default:
+				s.Run(th, func() { h.Contains(th, key) })
+			}
+		}
+	})
+	m.RunOne(func(th *tsx.Thread) {
+		want := 0
+		for id := 0; id < 8; id++ {
+			want += inserted[id] - deleted[id]
+		}
+		if got := h.Size(th); got != want {
+			t.Fatalf("size %d, want %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+// Package hwext packages the paper's Chapter 7 proposal: extending
+// Haswell's HLE implementation to distinguish conflicts on the elided lock
+// cache line from conflicts on data lines, entirely in hardware and with no
+// cache-coherence protocol changes.
+//
+// The mechanism itself lives in the TSX engine (internal/tsx), enabled by
+// tsx.Config.HWExt, because it modifies conflict detection:
+//
+//   - Under HWExt, the elided lock line is not placed in the read set
+//     (unless accessed as data), so a non-speculative lock acquisition does
+//     not abort speculative threads.
+//   - A speculative thread keeps running as long as it accesses lines
+//     already in its read/write sets ("data already in its caches").
+//   - On a miss (a new line, read or write) while the lock is held, the
+//     thread suspends until the lock is released, then resumes. Data
+//     conflicts abort it as usual, which is what makes the scheme safe
+//     against the Lemma 1 inconsistency.
+//
+// This package provides the scheme wrapper used in reports and the
+// machine-configuration helper; its tests demonstrate the chapter's claims,
+// including the Lemma 1 counterexample being prevented.
+package hwext
+
+import (
+	"hle/internal/core"
+	"hle/internal/locks"
+	"hle/internal/tsx"
+)
+
+// EnableOn returns cfg with the Chapter 7 extension switched on.
+func EnableOn(cfg tsx.Config) tsx.Config {
+	cfg.HWExt = true
+	return cfg
+}
+
+// Scheme is plain HLE running on a machine with the hardware extension
+// enabled; it exists so reports can distinguish "HLE" from "HLE+HWExt".
+// Using it on a machine without tsx.Config.HWExt is plain HLE.
+type Scheme struct {
+	*core.HLE
+}
+
+// New wraps lock in the HLE scheme intended for HWExt machines.
+func New(lock locks.Lock) *Scheme {
+	return &Scheme{HLE: core.NewHLE(lock)}
+}
+
+// Name implements core.Scheme.
+func (s *Scheme) Name() string { return "HLE-HWExt" }

@@ -1,0 +1,175 @@
+// Package mem provides the simulated word-addressable memory that all
+// benchmark data structures and locks live in.
+//
+// Memory is an array of 64-bit words grouped into 64-byte cache lines
+// (8 words). Each line carries transactional metadata: bitmasks of the
+// simulated hardware threads that currently hold the line in a speculative
+// read or write set. The TSX engine (internal/tsx) maintains these masks;
+// because all simulated execution is serialized through the scheduler token
+// (internal/sim), the masks are exact — they never contain stale bits.
+package mem
+
+import "fmt"
+
+// LineWords is the number of 64-bit words per cache line (64-byte lines).
+const LineWords = 8
+
+// LineShift is log2(LineWords), for computing line indices from addresses.
+const LineShift = 3
+
+// Addr is a simulated memory address, expressed as a word index.
+// Address 0 is never allocated and serves as the nil pointer.
+type Addr uint32
+
+// Nil is the null simulated address.
+const Nil Addr = 0
+
+// LineMeta is the transactional coherence metadata of one cache line.
+type LineMeta struct {
+	// Readers is a bitmask of proc IDs holding this line in a
+	// speculative read set.
+	Readers uint64
+	// Writers is a bitmask of proc IDs holding this line in a
+	// speculative write set.
+	Writers uint64
+}
+
+// Memory is a simulated physical memory. It grows on demand up to maxWords.
+type Memory struct {
+	words    []uint64
+	lines    []LineMeta
+	next     Addr
+	maxWords int
+	frees    map[int][]Addr // free lists by exact allocation size
+}
+
+// DefaultMaxWords bounds memory growth: 1<<26 words = 512 MB simulated.
+const DefaultMaxWords = 1 << 26
+
+// New creates a memory with an initial capacity of initWords words,
+// growable up to DefaultMaxWords.
+func New(initWords int) *Memory {
+	if initWords < 4*LineWords {
+		initWords = 4 * LineWords
+	}
+	initWords = roundUpLine(initWords)
+	return &Memory{
+		words:    make([]uint64, initWords),
+		lines:    make([]LineMeta, initWords/LineWords),
+		next:     LineWords, // keep line 0 (and Addr 0 == Nil) unallocated
+		maxWords: DefaultMaxWords,
+		frees:    make(map[int][]Addr),
+	}
+}
+
+func roundUpLine(n int) int {
+	return (n + LineWords - 1) &^ (LineWords - 1)
+}
+
+// LineOf returns the cache-line index containing address a.
+func LineOf(a Addr) int { return int(a >> LineShift) }
+
+// LineAddr returns the first address of line index l.
+func LineAddr(l int) Addr { return Addr(l << LineShift) }
+
+// Line returns the metadata of the line containing address a.
+func (m *Memory) Line(a Addr) *LineMeta { return &m.lines[a>>LineShift] }
+
+// LineByIndex returns the metadata of line index l.
+func (m *Memory) LineByIndex(l int) *LineMeta { return &m.lines[l] }
+
+// NumLines returns the current number of lines backed by this memory.
+func (m *Memory) NumLines() int { return len(m.lines) }
+
+// Read returns the committed value of the word at address a. The TSX engine
+// is responsible for consulting speculative write buffers first.
+func (m *Memory) Read(a Addr) uint64 { return m.words[a] }
+
+// Write sets the committed value of the word at address a.
+func (m *Memory) Write(a Addr, v uint64) { m.words[a] = v }
+
+// Alloc allocates n contiguous words and returns the address of the first.
+// Allocations never span more lines than necessary but are only word
+// aligned; use AllocLines when a structure must own whole cache lines.
+//
+// Reused memory is NOT zeroed here: clearing must go through the TSX
+// engine's store path (tsx.Thread.Alloc does this) so that a recycled line
+// still held in another transaction's read set triggers a proper conflict.
+func (m *Memory) Alloc(n int) Addr {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d)", n))
+	}
+	if fl := m.frees[n]; len(fl) > 0 {
+		a := fl[len(fl)-1]
+		m.frees[n] = fl[:len(fl)-1]
+		return a
+	}
+	// Avoid straddling a line boundary for small objects: a sub-line
+	// object that would cross a boundary is pushed to the next line.
+	if n <= LineWords {
+		off := int(m.next) % LineWords
+		if off+n > LineWords {
+			m.next += Addr(LineWords - off)
+		}
+	}
+	a := m.next
+	m.grow(int(a) + n)
+	m.next = a + Addr(n)
+	return a
+}
+
+// AllocLines allocates n words starting on a cache-line boundary and pads
+// the allocation to whole lines, so the object shares its lines with
+// nothing else. Locks and other contended words use this to avoid
+// simulated false sharing.
+func (m *Memory) AllocLines(n int) Addr {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: AllocLines(%d)", n))
+	}
+	padded := roundUpLine(n)
+	if fl := m.frees[-padded]; len(fl) > 0 {
+		a := fl[len(fl)-1]
+		m.frees[-padded] = fl[:len(fl)-1]
+		return a
+	}
+	m.next = Addr(roundUpLine(int(m.next)))
+	a := m.next
+	m.grow(int(a) + padded)
+	m.next = a + Addr(padded)
+	return a
+}
+
+// Free returns an allocation obtained from Alloc(n) to the allocator.
+func (m *Memory) Free(a Addr, n int) {
+	m.frees[n] = append(m.frees[n], a)
+}
+
+// FreeLines returns an allocation obtained from AllocLines(n).
+func (m *Memory) FreeLines(a Addr, n int) {
+	m.frees[-roundUpLine(n)] = append(m.frees[-roundUpLine(n)], a)
+}
+
+// WordsInUse reports the high-water mark of allocated words.
+func (m *Memory) WordsInUse() int { return int(m.next) }
+
+func (m *Memory) grow(need int) {
+	if need <= len(m.words) {
+		return
+	}
+	if need > m.maxWords {
+		panic(fmt.Sprintf("mem: out of simulated memory (need %d words, max %d)", need, m.maxWords))
+	}
+	newLen := len(m.words)
+	for newLen < need {
+		newLen *= 2
+	}
+	if newLen > m.maxWords {
+		newLen = m.maxWords
+	}
+	words := make([]uint64, newLen)
+	copy(words, m.words)
+	m.words = words
+	lines := make([]LineMeta, newLen/LineWords)
+	copy(lines, m.lines)
+	m.lines = lines
+}

@@ -1,0 +1,173 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineMath(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(7) != 0 || LineOf(8) != 1 {
+		t.Fatal("LineOf wrong")
+	}
+	if LineAddr(3) != 24 {
+		t.Fatalf("LineAddr(3) = %d, want 24", LineAddr(3))
+	}
+}
+
+func TestAllocDisjoint(t *testing.T) {
+	m := New(64)
+	seen := map[Addr]bool{}
+	sizes := []int{1, 2, 3, 8, 5, 16, 1, 7}
+	for _, n := range sizes {
+		a := m.Alloc(n)
+		if a == Nil {
+			t.Fatal("allocated nil address")
+		}
+		for i := 0; i < n; i++ {
+			w := a + Addr(i)
+			if seen[w] {
+				t.Fatalf("word %d allocated twice", w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestSmallAllocDoesNotStraddleLines(t *testing.T) {
+	m := New(64)
+	for i := 0; i < 50; i++ {
+		n := i%LineWords + 1
+		a := m.Alloc(n)
+		if LineOf(a) != LineOf(a+Addr(n-1)) {
+			t.Fatalf("alloc of %d words at %d straddles a line boundary", n, a)
+		}
+	}
+}
+
+func TestAllocLinesAlignedAndExclusive(t *testing.T) {
+	m := New(64)
+	m.Alloc(3) // perturb alignment
+	a := m.AllocLines(2)
+	if int(a)%LineWords != 0 {
+		t.Fatalf("AllocLines returned unaligned address %d", a)
+	}
+	b := m.Alloc(1)
+	if LineOf(b) == LineOf(a) {
+		t.Fatalf("subsequent Alloc landed on AllocLines line")
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(4)
+	m.Free(a, 4)
+	b := m.Alloc(4)
+	if a != b {
+		t.Fatalf("free-list reuse failed: got %d want %d", b, a)
+	}
+	la := m.AllocLines(1)
+	m.FreeLines(la, 1)
+	lb := m.AllocLines(1)
+	if la != lb {
+		t.Fatalf("line free-list reuse failed: got %d want %d", lb, la)
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(10000)
+	m.Write(a+9999, 42)
+	if m.Read(a+9999) != 42 {
+		t.Fatal("write after growth lost")
+	}
+	if m.NumLines()*LineWords < 10000 {
+		t.Fatal("line metadata did not grow with words")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(256)
+	f := func(off uint16, v uint64) bool {
+		a := Addr(off%200) + LineWords
+		m.Write(a, v)
+		return m.Read(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocDisjointProperty: random interleavings of alloc/free never hand
+// out overlapping live blocks.
+func TestAllocDisjointProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(64)
+		type block struct {
+			a Addr
+			n int
+		}
+		var live []block
+		owner := map[Addr]int{} // word -> block index
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				b := live[i]
+				for w := 0; w < b.n; w++ {
+					delete(owner, b.a+Addr(w))
+				}
+				m.Free(b.a, b.n)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			n := int(op)%9 + 1
+			a := m.Alloc(n)
+			for w := 0; w < n; w++ {
+				if _, clash := owner[a+Addr(w)]; clash {
+					return false
+				}
+				owner[a+Addr(w)] = len(live)
+			}
+			live = append(live, block{a, n})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfMemoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected out-of-memory panic")
+		}
+	}()
+	m := New(64)
+	m.maxWords = 1024
+	m.Alloc(2048)
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Alloc(0)")
+		}
+	}()
+	New(64).Alloc(0)
+}
+
+func TestAccessors(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(2)
+	if m.Line(a) != m.LineByIndex(LineOf(a)) {
+		t.Fatal("Line accessors disagree")
+	}
+	if m.WordsInUse() <= int(a) {
+		t.Fatal("WordsInUse below allocated address")
+	}
+	// New clamps tiny initial sizes.
+	small := New(1)
+	if small.NumLines() < 4 {
+		t.Fatal("New did not clamp initial size")
+	}
+}

@@ -1,0 +1,57 @@
+package rbtree_test
+
+import (
+	"testing"
+
+	"hle/internal/rbtree"
+	"hle/internal/tsx"
+)
+
+// FuzzTreeOps drives random operation sequences against the map model,
+// validating red-black invariants along the way. `go test` exercises the
+// seed corpus; `go test -fuzz=FuzzTreeOps ./internal/rbtree` explores.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{255, 254, 1, 1, 1, 128, 7})
+	f.Add([]byte{42})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		m := newMachine(1, 1)
+		m.RunOne(func(th *tsx.Thread) {
+			tr := rbtree.New(th)
+			model := map[uint64]uint64{}
+			for i, b := range ops {
+				key := uint64(b % 32)
+				switch (b >> 5) % 3 {
+				case 0:
+					_, had := model[key]
+					if got := tr.Insert(th, key, uint64(i)+1); got == had {
+						t.Fatalf("op %d: Insert(%d)=%v, model had=%v", i, key, got, had)
+					}
+					model[key] = uint64(i) + 1
+				case 1:
+					_, had := model[key]
+					if got := tr.Delete(th, key); got != had {
+						t.Fatalf("op %d: Delete(%d)=%v, had=%v", i, key, got, had)
+					}
+					delete(model, key)
+				default:
+					want, had := model[key]
+					got, ok := tr.Lookup(th, key)
+					if ok != had || (had && got != want) {
+						t.Fatalf("op %d: Lookup(%d)=%d,%v want %d,%v", i, key, got, ok, want, had)
+					}
+				}
+				if i%32 == 31 {
+					tr.Validate(th)
+				}
+			}
+			tr.Validate(th)
+			if tr.Size(th) != len(model) {
+				t.Fatalf("size %d, model %d", tr.Size(th), len(model))
+			}
+		})
+	})
+}

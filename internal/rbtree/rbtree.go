@@ -1,0 +1,429 @@
+// Package rbtree implements the red-black tree data-structure benchmark of
+// Chapters 3 and 5: a set/map over simulated memory, protected by a single
+// global lock in the benchmarks, whose operation mix and size control the
+// conflict level and critical-section length.
+//
+// The tree is a classic bottom-up red-black tree (CLRS-style, with parent
+// pointers and no shared NIL sentinel). All node accesses go through the
+// TSX engine, so lookups populate transactional read sets along the search
+// path while mutations write only the spliced and recolored nodes — O(1)
+// amortized, concentrated near the update point. That locality is essential
+// to the paper's benchmark: conflicts between random operations become rare
+// as the tree grows. (A top-down-rebalancing tree would write the root on
+// every delete and serialize everything.)
+package rbtree
+
+import (
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Node field offsets (words). A node occupies nodeWords words; the
+// allocator never splits it across cache lines.
+const (
+	offKey    = 0
+	offVal    = 1
+	offLeft   = 2
+	offRight  = 3
+	offParent = 4
+	offColor  = 5 // 1 = red, 0 = black
+
+	nodeWords = 6
+)
+
+// Tree is a red-black tree rooted at a pointer cell in simulated memory.
+type Tree struct {
+	rootCell mem.Addr
+}
+
+// New allocates an empty tree. The root pointer gets its own cache line:
+// it is the hottest word in the structure.
+func New(t *tsx.Thread) *Tree {
+	return &Tree{rootCell: t.AllocLines(1)}
+}
+
+func isRed(t *tsx.Thread, n mem.Addr) bool {
+	return n != mem.Nil && t.Load(n+offColor) == 1
+}
+
+// setColor stores the color only if it changes, keeping untouched nodes out
+// of the write set.
+func setColor(t *tsx.Thread, n mem.Addr, red uint64) {
+	if t.Load(n+offColor) != red {
+		t.Store(n+offColor, red)
+	}
+}
+
+func (tr *Tree) root(t *tsx.Thread) mem.Addr {
+	return mem.Addr(t.Load(tr.rootCell))
+}
+
+// Lookup returns the value stored under key.
+func (tr *Tree) Lookup(t *tsx.Thread, key uint64) (uint64, bool) {
+	n := tr.root(t)
+	for n != mem.Nil {
+		k := t.Load(n + offKey)
+		switch {
+		case key < k:
+			n = mem.Addr(t.Load(n + offLeft))
+		case key > k:
+			n = mem.Addr(t.Load(n + offRight))
+		default:
+			return t.Load(n + offVal), true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (tr *Tree) Contains(t *tsx.Thread, key uint64) bool {
+	_, ok := tr.Lookup(t, key)
+	return ok
+}
+
+// rotateLeft rotates around x, updating parent pointers and the root cell.
+func (tr *Tree) rotateLeft(t *tsx.Thread, x mem.Addr) {
+	y := mem.Addr(t.Load(x + offRight))
+	yl := mem.Addr(t.Load(y + offLeft))
+	t.Store(x+offRight, uint64(yl))
+	if yl != mem.Nil {
+		t.Store(yl+offParent, uint64(x))
+	}
+	xp := mem.Addr(t.Load(x + offParent))
+	t.Store(y+offParent, uint64(xp))
+	if xp == mem.Nil {
+		t.Store(tr.rootCell, uint64(y))
+	} else if mem.Addr(t.Load(xp+offLeft)) == x {
+		t.Store(xp+offLeft, uint64(y))
+	} else {
+		t.Store(xp+offRight, uint64(y))
+	}
+	t.Store(y+offLeft, uint64(x))
+	t.Store(x+offParent, uint64(y))
+}
+
+// rotateRight is the mirror of rotateLeft.
+func (tr *Tree) rotateRight(t *tsx.Thread, x mem.Addr) {
+	y := mem.Addr(t.Load(x + offLeft))
+	yr := mem.Addr(t.Load(y + offRight))
+	t.Store(x+offLeft, uint64(yr))
+	if yr != mem.Nil {
+		t.Store(yr+offParent, uint64(x))
+	}
+	xp := mem.Addr(t.Load(x + offParent))
+	t.Store(y+offParent, uint64(xp))
+	if xp == mem.Nil {
+		t.Store(tr.rootCell, uint64(y))
+	} else if mem.Addr(t.Load(xp+offRight)) == x {
+		t.Store(xp+offRight, uint64(y))
+	} else {
+		t.Store(xp+offLeft, uint64(y))
+	}
+	t.Store(y+offRight, uint64(x))
+	t.Store(x+offParent, uint64(y))
+}
+
+// Insert adds key→val, returning true if the key was absent. An existing
+// key's value is updated and false returned.
+func (tr *Tree) Insert(t *tsx.Thread, key, val uint64) bool {
+	var parent mem.Addr
+	n := tr.root(t)
+	for n != mem.Nil {
+		k := t.Load(n + offKey)
+		switch {
+		case key < k:
+			parent = n
+			n = mem.Addr(t.Load(n + offLeft))
+		case key > k:
+			parent = n
+			n = mem.Addr(t.Load(n + offRight))
+		default:
+			if t.Load(n+offVal) != val {
+				t.Store(n+offVal, val)
+			}
+			return false
+		}
+	}
+	z := t.Alloc(nodeWords)
+	t.Store(z+offKey, key)
+	if val != 0 {
+		t.Store(z+offVal, val)
+	}
+	t.Store(z+offColor, 1)
+	if parent == mem.Nil {
+		t.Store(tr.rootCell, uint64(z))
+	} else {
+		t.Store(z+offParent, uint64(parent))
+		if key < t.Load(parent+offKey) {
+			t.Store(parent+offLeft, uint64(z))
+		} else {
+			t.Store(parent+offRight, uint64(z))
+		}
+	}
+	tr.insertFixup(t, z)
+	return true
+}
+
+func (tr *Tree) insertFixup(t *tsx.Thread, z mem.Addr) {
+	for {
+		p := mem.Addr(t.Load(z + offParent))
+		if p == mem.Nil || !isRed(t, p) {
+			break
+		}
+		g := mem.Addr(t.Load(p + offParent)) // grandparent exists: p is red, root is black
+		if p == mem.Addr(t.Load(g+offLeft)) {
+			u := mem.Addr(t.Load(g + offRight)) // uncle
+			if isRed(t, u) {
+				setColor(t, p, 0)
+				setColor(t, u, 0)
+				setColor(t, g, 1)
+				z = g
+				continue
+			}
+			if z == mem.Addr(t.Load(p+offRight)) {
+				z = p
+				tr.rotateLeft(t, z)
+				p = mem.Addr(t.Load(z + offParent))
+			}
+			setColor(t, p, 0)
+			setColor(t, g, 1)
+			tr.rotateRight(t, g)
+		} else {
+			u := mem.Addr(t.Load(g + offLeft))
+			if isRed(t, u) {
+				setColor(t, p, 0)
+				setColor(t, u, 0)
+				setColor(t, g, 1)
+				z = g
+				continue
+			}
+			if z == mem.Addr(t.Load(p+offLeft)) {
+				z = p
+				tr.rotateRight(t, z)
+				p = mem.Addr(t.Load(z + offParent))
+			}
+			setColor(t, p, 0)
+			setColor(t, g, 1)
+			tr.rotateLeft(t, g)
+		}
+	}
+	setColor(t, tr.root(t), 0)
+}
+
+// transplant replaces subtree u with subtree v (v may be nil); vParent is
+// needed because v can be nil and we track parents explicitly.
+func (tr *Tree) transplant(t *tsx.Thread, u, v mem.Addr) {
+	up := mem.Addr(t.Load(u + offParent))
+	if up == mem.Nil {
+		t.Store(tr.rootCell, uint64(v))
+	} else if u == mem.Addr(t.Load(up+offLeft)) {
+		t.Store(up+offLeft, uint64(v))
+	} else {
+		t.Store(up+offRight, uint64(v))
+	}
+	if v != mem.Nil {
+		t.Store(v+offParent, uint64(up))
+	}
+}
+
+// Delete removes key, returning true if it was present.
+func (tr *Tree) Delete(t *tsx.Thread, key uint64) bool {
+	z := tr.root(t)
+	for z != mem.Nil {
+		k := t.Load(z + offKey)
+		switch {
+		case key < k:
+			z = mem.Addr(t.Load(z + offLeft))
+		case key > k:
+			z = mem.Addr(t.Load(z + offRight))
+		default:
+			tr.deleteNode(t, z)
+			return true
+		}
+	}
+	return false
+}
+
+func (tr *Tree) deleteNode(t *tsx.Thread, z mem.Addr) {
+	y := z
+	yWasRed := isRed(t, y)
+	var x, xParent mem.Addr
+
+	zl := mem.Addr(t.Load(z + offLeft))
+	zr := mem.Addr(t.Load(z + offRight))
+	switch {
+	case zl == mem.Nil:
+		x = zr
+		xParent = mem.Addr(t.Load(z + offParent))
+		tr.transplant(t, z, zr)
+	case zr == mem.Nil:
+		x = zl
+		xParent = mem.Addr(t.Load(z + offParent))
+		tr.transplant(t, z, zl)
+	default:
+		// y = successor of z = min of right subtree.
+		y = zr
+		for l := mem.Addr(t.Load(y + offLeft)); l != mem.Nil; l = mem.Addr(t.Load(y + offLeft)) {
+			y = l
+		}
+		yWasRed = isRed(t, y)
+		x = mem.Addr(t.Load(y + offRight))
+		if y == zr {
+			xParent = y
+		} else {
+			xParent = mem.Addr(t.Load(y + offParent))
+			tr.transplant(t, y, x)
+			t.Store(y+offRight, uint64(zr))
+			t.Store(zr+offParent, uint64(y))
+		}
+		tr.transplant(t, z, y)
+		t.Store(y+offLeft, uint64(zl))
+		t.Store(zl+offParent, uint64(y))
+		setColor(t, y, t.Load(z+offColor))
+	}
+	t.Free(z, nodeWords)
+	if !yWasRed {
+		tr.deleteFixup(t, x, xParent)
+	}
+}
+
+// deleteFixup restores red-black balance after removing a black node; x is
+// the doubly-black node (possibly nil, which is why xParent is tracked
+// explicitly instead of through a shared sentinel).
+func (tr *Tree) deleteFixup(t *tsx.Thread, x, xParent mem.Addr) {
+	for x != tr.root(t) && !isRed(t, x) {
+		if xParent == mem.Nil {
+			break
+		}
+		if x == mem.Addr(t.Load(xParent+offLeft)) {
+			w := mem.Addr(t.Load(xParent + offRight))
+			if isRed(t, w) {
+				setColor(t, w, 0)
+				setColor(t, xParent, 1)
+				tr.rotateLeft(t, xParent)
+				w = mem.Addr(t.Load(xParent + offRight))
+			}
+			wl := mem.Addr(t.Load(w + offLeft))
+			wr := mem.Addr(t.Load(w + offRight))
+			if !isRed(t, wl) && !isRed(t, wr) {
+				setColor(t, w, 1)
+				x = xParent
+				xParent = mem.Addr(t.Load(x + offParent))
+				continue
+			}
+			if !isRed(t, wr) {
+				setColor(t, wl, 0)
+				setColor(t, w, 1)
+				tr.rotateRight(t, w)
+				w = mem.Addr(t.Load(xParent + offRight))
+				wr = mem.Addr(t.Load(w + offRight))
+			}
+			setColor(t, w, t.Load(xParent+offColor))
+			setColor(t, xParent, 0)
+			setColor(t, wr, 0)
+			tr.rotateLeft(t, xParent)
+			return
+		}
+		w := mem.Addr(t.Load(xParent + offLeft))
+		if isRed(t, w) {
+			setColor(t, w, 0)
+			setColor(t, xParent, 1)
+			tr.rotateRight(t, xParent)
+			w = mem.Addr(t.Load(xParent + offLeft))
+		}
+		wl := mem.Addr(t.Load(w + offLeft))
+		wr := mem.Addr(t.Load(w + offRight))
+		if !isRed(t, wl) && !isRed(t, wr) {
+			setColor(t, w, 1)
+			x = xParent
+			xParent = mem.Addr(t.Load(x + offParent))
+			continue
+		}
+		if !isRed(t, wl) {
+			setColor(t, wr, 0)
+			setColor(t, w, 1)
+			tr.rotateLeft(t, w)
+			w = mem.Addr(t.Load(xParent + offLeft))
+			wl = mem.Addr(t.Load(w + offLeft))
+		}
+		setColor(t, w, t.Load(xParent+offColor))
+		setColor(t, xParent, 0)
+		setColor(t, wl, 0)
+		tr.rotateRight(t, xParent)
+		return
+	}
+	if x != mem.Nil {
+		setColor(t, x, 0)
+	}
+}
+
+// Size returns the number of keys (a full traversal; test/setup use only).
+func (tr *Tree) Size(t *tsx.Thread) int {
+	var walk func(n mem.Addr) int
+	walk = func(n mem.Addr) int {
+		if n == mem.Nil {
+			return 0
+		}
+		return 1 + walk(mem.Addr(t.Load(n+offLeft))) + walk(mem.Addr(t.Load(n+offRight)))
+	}
+	return walk(tr.root(t))
+}
+
+// Keys returns all keys in order (test use only).
+func (tr *Tree) Keys(t *tsx.Thread) []uint64 {
+	var out []uint64
+	var walk func(n mem.Addr)
+	walk = func(n mem.Addr) {
+		if n == mem.Nil {
+			return
+		}
+		walk(mem.Addr(t.Load(n + offLeft)))
+		out = append(out, t.Load(n+offKey))
+		walk(mem.Addr(t.Load(n + offRight)))
+	}
+	walk(tr.root(t))
+	return out
+}
+
+// Validate checks the red-black, BST and parent-pointer invariants,
+// returning the black height or panicking with the violation.
+func (tr *Tree) Validate(t *tsx.Thread) int {
+	root := tr.root(t)
+	if isRed(t, root) {
+		panic("rbtree: red root")
+	}
+	if root != mem.Nil && mem.Addr(t.Load(root+offParent)) != mem.Nil {
+		panic("rbtree: root has a parent")
+	}
+	var check func(n, parent mem.Addr, min, max uint64, hasMin, hasMax bool) int
+	check = func(n, parent mem.Addr, min, max uint64, hasMin, hasMax bool) int {
+		if n == mem.Nil {
+			return 1
+		}
+		if mem.Addr(t.Load(n+offParent)) != parent {
+			panic("rbtree: bad parent pointer")
+		}
+		k := t.Load(n + offKey)
+		if hasMin && k <= min {
+			panic("rbtree: BST order violated (left)")
+		}
+		if hasMax && k >= max {
+			panic("rbtree: BST order violated (right)")
+		}
+		l := mem.Addr(t.Load(n + offLeft))
+		r := mem.Addr(t.Load(n + offRight))
+		if isRed(t, n) && (isRed(t, l) || isRed(t, r)) {
+			panic("rbtree: red-red violation")
+		}
+		hl := check(l, n, min, k, hasMin, true)
+		hr := check(r, n, k, max, true, hasMax)
+		if hl != hr {
+			panic("rbtree: unequal black heights")
+		}
+		if !isRed(t, n) {
+			hl++
+		}
+		return hl
+	}
+	return check(root, mem.Nil, 0, 0, false, false)
+}

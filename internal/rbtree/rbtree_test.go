@@ -1,0 +1,222 @@
+package rbtree_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hle/internal/core"
+	"hle/internal/locks"
+	"hle/internal/rbtree"
+	"hle/internal/tsx"
+)
+
+func newMachine(n int, seed int64) *tsx.Machine {
+	cfg := tsx.DefaultConfig(n)
+	cfg.Seed = seed
+	cfg.SpuriousPerAccess = 0
+	cfg.MemWords = 1 << 20
+	return tsx.NewMachine(cfg)
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	m := newMachine(1, 1)
+	m.RunOne(func(th *tsx.Thread) {
+		tr := rbtree.New(th)
+		if tr.Contains(th, 5) {
+			t.Fatal("empty tree contains 5")
+		}
+		if !tr.Insert(th, 5, 50) {
+			t.Fatal("insert of new key returned false")
+		}
+		if tr.Insert(th, 5, 51) {
+			t.Fatal("re-insert returned true")
+		}
+		if v, ok := tr.Lookup(th, 5); !ok || v != 51 {
+			t.Fatalf("lookup = %d,%v want 51,true", v, ok)
+		}
+		if !tr.Delete(th, 5) {
+			t.Fatal("delete of present key returned false")
+		}
+		if tr.Delete(th, 5) {
+			t.Fatal("delete of absent key returned true")
+		}
+		if tr.Size(th) != 0 {
+			t.Fatal("tree not empty")
+		}
+	})
+}
+
+// TestModelEquivalence runs a long random op sequence against a Go map
+// model, validating invariants as it goes.
+func TestModelEquivalence(t *testing.T) {
+	m := newMachine(1, 2)
+	m.RunOne(func(th *tsx.Thread) {
+		tr := rbtree.New(th)
+		model := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 6000; i++ {
+			key := uint64(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0:
+				val := uint64(rng.Intn(1000)) + 1
+				_, had := model[key]
+				if got := tr.Insert(th, key, val); got == had {
+					t.Fatalf("op %d: Insert(%d) = %v, model had=%v", i, key, got, had)
+				}
+				model[key] = val
+			case 1:
+				_, had := model[key]
+				if got := tr.Delete(th, key); got != had {
+					t.Fatalf("op %d: Delete(%d) = %v, model had=%v", i, key, got, had)
+				}
+				delete(model, key)
+			default:
+				want, had := model[key]
+				got, ok := tr.Lookup(th, key)
+				if ok != had || (had && got != want) {
+					t.Fatalf("op %d: Lookup(%d) = %d,%v want %d,%v", i, key, got, ok, want, had)
+				}
+			}
+			if i%500 == 0 {
+				tr.Validate(th)
+				if tr.Size(th) != len(model) {
+					t.Fatalf("op %d: size %d, model %d", i, tr.Size(th), len(model))
+				}
+			}
+		}
+		tr.Validate(th)
+		keys := tr.Keys(th)
+		if len(keys) != len(model) {
+			t.Fatalf("final size %d, model %d", len(keys), len(model))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatal("keys not strictly sorted")
+			}
+		}
+		for _, k := range keys {
+			if _, ok := model[k]; !ok {
+				t.Fatalf("tree has key %d not in model", k)
+			}
+		}
+	})
+}
+
+// TestInvariantsProperty: random insert/delete batches preserve red-black
+// invariants (property-based).
+func TestInvariantsProperty(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		m := newMachine(1, seed)
+		good := true
+		m.RunOne(func(th *tsx.Thread) {
+			tr := rbtree.New(th)
+			for _, op := range ops {
+				key := uint64(op % 64)
+				if op&0x8000 != 0 {
+					tr.Delete(th, key)
+				} else {
+					tr.Insert(th, key, uint64(op))
+				}
+			}
+			defer func() {
+				if recover() != nil {
+					good = false
+				}
+			}()
+			tr.Validate(th)
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlackHeightLogarithmic: a large tree's black height stays
+// logarithmic, evidence the rebalancing works.
+func TestBlackHeightLogarithmic(t *testing.T) {
+	m := newMachine(1, 3)
+	m.RunOne(func(th *tsx.Thread) {
+		tr := rbtree.New(th)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 4000; i++ {
+			tr.Insert(th, uint64(rng.Int63n(1<<40)), 1)
+		}
+		bh := tr.Validate(th)
+		// 4000 nodes: black height must be at most ~log2(n)+1.
+		if bh > 13 {
+			t.Fatalf("black height %d too large for 4000 nodes", bh)
+		}
+	})
+}
+
+// TestConcurrentUnderSchemes: concurrent tree operations under each elision
+// scheme preserve invariants and size accounting.
+func TestConcurrentUnderSchemes(t *testing.T) {
+	type mk struct {
+		name  string
+		build func(th *tsx.Thread) core.Scheme
+	}
+	for _, smk := range []mk{
+		{"Standard-TTAS", func(th *tsx.Thread) core.Scheme { return core.NewStandard(locks.NewTTAS(th)) }},
+		{"HLE-TTAS", func(th *tsx.Thread) core.Scheme { return core.NewHLE(locks.NewTTAS(th)) }},
+		{"HLE-MCS", func(th *tsx.Thread) core.Scheme { return core.NewHLE(locks.NewMCS(th)) }},
+		{"HLESCM-MCS", func(th *tsx.Thread) core.Scheme {
+			return core.NewHLESCM(locks.NewMCS(th), locks.NewMCS(th), core.SCMConfig{})
+		}},
+		{"OptSLR-TTAS", func(th *tsx.Thread) core.Scheme { return core.NewSLR(locks.NewTTAS(th), 0) }},
+	} {
+		smk := smk
+		t.Run(smk.name, func(t *testing.T) {
+			m := newMachine(8, 17)
+			var s core.Scheme
+			var tr *rbtree.Tree
+			initial := 0
+			m.RunOne(func(th *tsx.Thread) {
+				s = smk.build(th)
+				tr = rbtree.New(th)
+				rng := rand.New(rand.NewSource(5))
+				for i := 0; i < 64; i++ {
+					if tr.Insert(th, uint64(rng.Intn(128)), 1) {
+						initial++
+					}
+				}
+			})
+			inserted := make([]int, 8)
+			deleted := make([]int, 8)
+			m.Run(8, func(th *tsx.Thread) {
+				s.Setup(th)
+				for i := 0; i < 120; i++ {
+					key := uint64(th.Rand().Intn(128))
+					switch th.Rand().Intn(10) {
+					case 0, 1:
+						var ok bool
+						s.Run(th, func() { ok = tr.Insert(th, key, 1) })
+						if ok {
+							inserted[th.ID]++
+						}
+					case 2, 3:
+						var ok bool
+						s.Run(th, func() { ok = tr.Delete(th, key) })
+						if ok {
+							deleted[th.ID]++
+						}
+					default:
+						s.Run(th, func() { tr.Contains(th, key) })
+					}
+				}
+			})
+			m.RunOne(func(th *tsx.Thread) {
+				tr.Validate(th)
+				want := initial
+				for id := 0; id < 8; id++ {
+					want += inserted[id] - deleted[id]
+				}
+				if got := tr.Size(th); got != want {
+					t.Fatalf("size %d, want %d (initial %d)", got, want, initial)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,159 @@
+// Package sim provides a deterministic, cycle-approximate simulator of a
+// small multicore machine.
+//
+// Simulated hardware threads ("procs") run as goroutines, but execution is
+// serialized through a scheduler token: at any instant exactly one proc is
+// running, and the scheduler always resumes the proc with the smallest
+// virtual clock. Each simulated memory access advances the issuing proc's
+// clock by the access cost, so virtual time behaves like parallel wall time
+// on a real machine, while the host needs only a single CPU and every run is
+// reproducible from a seed.
+//
+// Upper layers (the TSX engine in internal/tsx) perform all shared-state
+// manipulation between a grant and the following yield, so they need no
+// Go-level synchronization of their own.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Procs is the number of simulated hardware threads.
+	Procs int
+	// Seed makes runs reproducible. Two runs with equal Config and equal
+	// workloads produce identical schedules and identical statistics.
+	Seed int64
+	// Quantum is the number of virtual cycles a proc may run past the
+	// runner-up clock before it must yield to the scheduler. Smaller
+	// values interleave more finely at higher simulation cost.
+	// Zero selects DefaultQuantum.
+	Quantum uint64
+}
+
+// DefaultQuantum is used when Config.Quantum is zero. It is small enough
+// that independent procs interleave within a single short critical section.
+const DefaultQuantum = 12
+
+// Proc is one simulated hardware thread. A Proc is only valid inside the
+// body function passed to Run, and must not be shared across bodies.
+type Proc struct {
+	// ID is the hardware thread index, in [0, Config.Procs).
+	ID int
+
+	clock  uint64
+	target uint64
+	grant  chan uint64
+	yield  chan yieldKind
+	rng    *rand.Rand
+}
+
+type yieldKind uint8
+
+const (
+	yieldRunning yieldKind = iota
+	yieldDone
+)
+
+// Clock returns the proc's current virtual time in cycles.
+func (p *Proc) Clock() uint64 { return p.clock }
+
+// Rand returns the proc's deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Step advances the proc's virtual clock by cost cycles, yielding to the
+// scheduler if the proc has run ahead of its peers. Every simulated memory
+// access and every unit of simulated computation funnels through Step.
+func (p *Proc) Step(cost uint64) {
+	p.clock += cost
+	if p.clock >= p.target {
+		p.yield <- yieldRunning
+		p.target = <-p.grant
+	}
+}
+
+// Run simulates n procs, each executing body, and returns when all bodies
+// have returned. The scheduler resumes the minimum-clock proc first (ties
+// broken by lowest ID), granting it a quantum beyond the runner-up clock.
+//
+// A panic in a body is re-raised on the caller's goroutine.
+func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Run with n = %d", n))
+	}
+	quantum := cfg.Quantum
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+
+	procs := make([]*Proc, n)
+	panics := make([]any, n)
+	for i := range procs {
+		procs[i] = &Proc{
+			ID:    i,
+			grant: make(chan uint64),
+			yield: make(chan yieldKind),
+			rng:   rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7919 + 1)),
+		}
+	}
+	for i, p := range procs {
+		go func(i int, p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+					p.yield <- yieldDone
+				}
+			}()
+			p.target = <-p.grant
+			body(p)
+			p.yield <- yieldDone
+		}(i, p)
+	}
+
+	// Grant lengths are randomized in [1, quantum] to break phase-locking:
+	// with deterministic equal-length grants, threads running identical
+	// loops execute in rigid lockstep and their critical sections never
+	// interleave in token order, hiding conflicts that overlap in virtual
+	// time. Real machines have scheduling noise; so does this one.
+	schedRng := rand.New(rand.NewSource(cfg.Seed*2_654_435_761 + 97))
+
+	running := make([]*Proc, len(procs))
+	copy(running, procs)
+	for len(running) > 0 {
+		// Pick the minimum-clock proc; find the runner-up clock to set
+		// the grant target.
+		minIdx := 0
+		for i, p := range running[1:] {
+			if p.clock < running[minIdx].clock {
+				minIdx = i + 1
+			}
+		}
+		target := ^uint64(0)
+		if len(running) > 1 {
+			second := ^uint64(0)
+			for i, p := range running {
+				if i != minIdx && p.clock < second {
+					second = p.clock
+				}
+			}
+			slice := 1 + uint64(schedRng.Int63n(int64(quantum)))
+			if second < ^uint64(0)-slice {
+				target = second + slice
+			}
+		}
+		p := running[minIdx]
+		p.grant <- target
+		if <-p.yield == yieldDone {
+			running[minIdx] = running[len(running)-1]
+			running = running[:len(running)-1]
+		}
+	}
+	for i, r := range panics {
+		if r != nil {
+			panic(fmt.Sprintf("sim: proc %d panicked: %v", i, r))
+		}
+	}
+	return procs
+}

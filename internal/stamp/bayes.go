@@ -1,0 +1,210 @@
+package stamp
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Bayes models STAMP's Bayesian-network structure learner (an extension
+// workload; the paper's Figure 5.4 omits it): workers draw candidate edges
+// from a shared task list and transactionally insert those that keep the
+// network acyclic and improve a (deterministic pseudo-)score. The
+// acyclicity check walks the current graph inside the transaction, so
+// transactions are long, read-mostly, and highly sensitive to concurrent
+// structure changes — STAMP characterizes bayes as long transactions with
+// high contention.
+//
+// Adjacency is a bitmap: adj[u*stride + v/64] bit (v%64).
+type Bayes struct {
+	nVars  int
+	nTasks int
+	stride int // words per adjacency row
+
+	adj      mem.Addr // nVars * stride bitmap words
+	tasks    mem.Addr // packed (u<<32 | v)
+	nextTask mem.Addr // shared task dispenser
+	accepted mem.Addr // accepted-edge counter
+
+	// acceptedEdges records the completing execution's decision per
+	// task (Go-side, token-safe).
+	acceptedEdges []bool
+}
+
+// NewBayes creates a structure-learning instance over nVars variables with
+// nTasks candidate edges.
+func NewBayes(nVars, nTasks int) *Bayes {
+	return &Bayes{
+		nVars:         nVars,
+		nTasks:        nTasks,
+		stride:        (nVars + 63) / 64,
+		acceptedEdges: make([]bool, nTasks),
+	}
+}
+
+// Name implements App.
+func (b *Bayes) Name() string { return "bayes" }
+
+// Setup implements App.
+func (b *Bayes) Setup(t *tsx.Thread) {
+	b.adj = t.Alloc(b.nVars * b.stride)
+	b.tasks = t.Alloc(b.nTasks)
+	b.nextTask = t.AllocLines(1)
+	b.accepted = t.AllocLines(1)
+	for i := 0; i < b.nTasks; i++ {
+		u := t.Rand().Intn(b.nVars)
+		v := t.Rand().Intn(b.nVars)
+		for v == u {
+			v = t.Rand().Intn(b.nVars)
+		}
+		t.Store(b.tasks+mem.Addr(i), uint64(u)<<32|uint64(v))
+	}
+}
+
+func (b *Bayes) hasEdge(t *tsx.Thread, u, v int) bool {
+	w := t.Load(b.adj + mem.Addr(u*b.stride+v/64))
+	return w>>(uint(v)%64)&1 == 1
+}
+
+func (b *Bayes) setEdge(t *tsx.Thread, u, v int) {
+	a := b.adj + mem.Addr(u*b.stride+v/64)
+	t.Store(a, t.Load(a)|1<<(uint(v)%64))
+}
+
+// reaches reports whether dst is reachable from src in the current graph
+// (the transactional acyclicity walk).
+func (b *Bayes) reaches(t *tsx.Thread, src, dst int) bool {
+	seen := make([]bool, b.nVars)
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == dst {
+			return true
+		}
+		for w := 0; w < b.stride; w++ {
+			bits := t.Load(b.adj + mem.Addr(u*b.stride+w))
+			for bits != 0 {
+				v := w*64 + trailingZeros(bits)
+				bits &= bits - 1
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Worker implements App.
+func (b *Bayes) Worker(t *tsx.Thread, scheme core.Scheme, threads int) {
+	for {
+		i := t.FetchAdd(b.nextTask, 1)
+		if i >= uint64(b.nTasks) {
+			return
+		}
+		task := t.Load(b.tasks + mem.Addr(i))
+		u, v := int(task>>32), int(task&0xffffffff)
+		took := false
+		scheme.Run(t, func() {
+			took = false
+			if b.hasEdge(t, u, v) {
+				return
+			}
+			// Deterministic pseudo-score: accept unless it would
+			// create a cycle. The reachability walk is the long,
+			// read-heavy part of the transaction.
+			if b.reaches(t, v, u) {
+				return
+			}
+			t.Work(uint64(10 * b.nVars)) // score computation
+			b.setEdge(t, u, v)
+			t.Store(b.accepted, t.Load(b.accepted)+1)
+			took = true
+		})
+		b.acceptedEdges[i] = took
+	}
+}
+
+// Validate implements App: the final graph is acyclic, contains exactly
+// the accepted edges, and the accepted counter matches.
+func (b *Bayes) Validate(t *tsx.Thread) error {
+	// Count edges and check each accepted task's edge is present.
+	var edges uint64
+	for u := 0; u < b.nVars; u++ {
+		for w := 0; w < b.stride; w++ {
+			bits := t.Load(b.adj + mem.Addr(u*b.stride+w))
+			for bits != 0 {
+				bits &= bits - 1
+				edges++
+			}
+		}
+	}
+	var want uint64
+	for i, took := range b.acceptedEdges {
+		if !took {
+			continue
+		}
+		want++
+		task := t.Load(b.tasks + mem.Addr(i))
+		u, v := int(task>>32), int(task&0xffffffff)
+		if !b.hasEdge(t, u, v) {
+			return fmt.Errorf("accepted edge %d->%d missing from the graph", u, v)
+		}
+	}
+	if edges != want {
+		return fmt.Errorf("graph has %d edges, %d were accepted", edges, want)
+	}
+	if got := t.Load(b.accepted); got != want {
+		return fmt.Errorf("accepted counter %d, want %d", got, want)
+	}
+	// Acyclicity: Kahn-style peeling over a Go-side copy.
+	indeg := make([]int, b.nVars)
+	succ := make([][]int, b.nVars)
+	for u := 0; u < b.nVars; u++ {
+		for w := 0; w < b.stride; w++ {
+			bits := t.Load(b.adj + mem.Addr(u*b.stride+w))
+			for bits != 0 {
+				v := w*64 + trailingZeros(bits)
+				bits &= bits - 1
+				succ[u] = append(succ[u], v)
+				indeg[v]++
+			}
+		}
+	}
+	var queue []int
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		for _, v := range succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if removed != b.nVars {
+		return fmt.Errorf("graph contains a cycle (%d of %d vars peeled)", removed, b.nVars)
+	}
+	return nil
+}

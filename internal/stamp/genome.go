@@ -1,0 +1,119 @@
+package stamp
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/hashtable"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Genome models STAMP's gene-sequencing benchmark: phase 1 deduplicates a
+// stream of segments into a shared hash table; phase 2 links each segment
+// to its overlap successor, reconstructing the original sequence. Its
+// critical sections are short-to-moderate hash and link operations with low
+// conflict rates.
+type Genome struct {
+	nSegs  int // unique segments in the gene
+	segLen int // models the string-compare cost per operation
+	dup    int // duplication factor of the input stream
+
+	gene    mem.Addr // gene[p] = segment id at position p
+	input   mem.Addr // shuffled stream of packed (pos<<32 | id), nSegs*dup long
+	next    mem.Addr // next[id-1] = successor segment id (the output)
+	table   *hashtable.Table
+	barrier *Barrier
+}
+
+// NewGenome creates a genome instance with nSegs unique segments of
+// simulated length segLen, each duplicated dup times in the input stream.
+func NewGenome(nSegs, segLen, dup int) *Genome {
+	return &Genome{nSegs: nSegs, segLen: segLen, dup: dup}
+}
+
+// Name implements App.
+func (g *Genome) Name() string { return "genome" }
+
+// Setup implements App.
+func (g *Genome) Setup(t *tsx.Thread) {
+	g.gene = t.Alloc(g.nSegs)
+	g.next = t.Alloc(g.nSegs)
+	total := g.nSegs * g.dup
+	g.input = t.Alloc(total)
+	g.table = hashtable.New(t, g.nSegs*2)
+	g.barrier = NewBarrier(t, 64) // resized per run in Worker via n
+
+	// The gene is a random permutation of segment ids 1..nSegs.
+	perm := t.Rand().Perm(g.nSegs)
+	for p, idx := range perm {
+		t.Store(g.gene+mem.Addr(p), uint64(idx+1))
+	}
+	// The input stream holds every (position, id) pair dup times,
+	// shuffled.
+	entries := make([]uint64, 0, total)
+	for d := 0; d < g.dup; d++ {
+		for p := 0; p < g.nSegs; p++ {
+			entries = append(entries, uint64(p)<<32|uint64(perm[p]+1))
+		}
+	}
+	t.Rand().Shuffle(len(entries), func(i, j int) {
+		entries[i], entries[j] = entries[j], entries[i]
+	})
+	for i, e := range entries {
+		t.Store(g.input+mem.Addr(i), e)
+	}
+}
+
+// Worker implements App.
+func (g *Genome) Worker(t *tsx.Thread, scheme core.Scheme, threads int) {
+	if t.ID == 0 {
+		g.barrier.n = threads
+	}
+	total := g.nSegs * g.dup
+
+	// Phase 1: deduplicate the input stream into the segment table.
+	for i := t.ID; i < total; i += threads {
+		entry := t.Load(g.input + mem.Addr(i))
+		pos, id := entry>>32, entry&0xffffffff
+		t.Work(uint64(g.segLen)) // hash the segment contents
+		scheme.Run(t, func() {
+			g.table.Insert(t, id, pos+1)
+		})
+	}
+
+	g.barrier.Wait(t)
+
+	// Phase 2: link each segment to its successor by table lookup.
+	for p := t.ID; p < g.nSegs-1; p += threads {
+		id := t.Load(g.gene + mem.Addr(p))
+		succ := t.Load(g.gene + mem.Addr(p+1))
+		t.Work(uint64(g.segLen)) // compare the overlap
+		scheme.Run(t, func() {
+			// Confirm the successor was registered in phase 1,
+			// then link; the table lookup is part of the critical
+			// section as in STAMP's matching transactions.
+			if _, ok := g.table.Lookup(t, succ); ok {
+				t.Store(g.next+mem.Addr(id-1), succ)
+			}
+		})
+	}
+}
+
+// Validate implements App: walking the links from the first segment must
+// reproduce the gene.
+func (g *Genome) Validate(t *tsx.Thread) error {
+	if got := g.table.Size(t); got != g.nSegs {
+		return fmt.Errorf("table has %d segments, want %d", got, g.nSegs)
+	}
+	id := t.Load(g.gene)
+	for p := 0; p < g.nSegs-1; p++ {
+		want := t.Load(g.gene + mem.Addr(p+1))
+		got := t.Load(g.next + mem.Addr(id-1))
+		if got != want {
+			return fmt.Errorf("position %d: next[%d] = %d, want %d", p, id, got, want)
+		}
+		id = got
+	}
+	return nil
+}

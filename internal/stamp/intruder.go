@@ -1,0 +1,121 @@
+package stamp
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Intruder models STAMP's network-intrusion-detection benchmark: workers
+// pop packet fragments off a shared queue, reassemble them into flows in a
+// shared map, and scan completed flows for attack signatures. The shared
+// queue head makes it the suite's high-contention member.
+type Intruder struct {
+	nFlows   int
+	perFlow  int
+	nAttacks int
+
+	queue    mem.Addr // shuffled fragments: packed (flow<<16 | fragIdx)
+	head     mem.Addr // queue head index (the hot word)
+	seen     mem.Addr // per-flow reassembled-fragment counters
+	isAttack mem.Addr // per-flow attack flag (input)
+	detected mem.Addr // detected-attack counter (output)
+	done     mem.Addr // per-flow completion marker (output)
+}
+
+// NewIntruder creates an instance with nFlows flows of perFlow fragments.
+// Every seventh flow carries an attack signature.
+func NewIntruder(nFlows, perFlow int) *Intruder {
+	return &Intruder{nFlows: nFlows, perFlow: perFlow}
+}
+
+// Name implements App.
+func (in *Intruder) Name() string { return "intruder" }
+
+// Setup implements App.
+func (in *Intruder) Setup(t *tsx.Thread) {
+	total := in.nFlows * in.perFlow
+	in.queue = t.Alloc(total)
+	in.head = t.AllocLines(1)
+	in.seen = t.Alloc(in.nFlows)
+	in.isAttack = t.Alloc(in.nFlows)
+	in.detected = t.AllocLines(1)
+	in.done = t.Alloc(in.nFlows)
+
+	frags := make([]uint64, 0, total)
+	for f := 0; f < in.nFlows; f++ {
+		if f%7 == 3 {
+			t.Store(in.isAttack+mem.Addr(f), 1)
+			in.nAttacks++
+		}
+		for i := 0; i < in.perFlow; i++ {
+			frags = append(frags, uint64(f)<<16|uint64(i))
+		}
+	}
+	t.Rand().Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+	for i, fr := range frags {
+		t.Store(in.queue+mem.Addr(i), fr)
+	}
+}
+
+// Worker implements App.
+func (in *Intruder) Worker(t *tsx.Thread, scheme core.Scheme, threads int) {
+	total := uint64(in.nFlows * in.perFlow)
+	for {
+		// Critical section 1: pop a fragment off the shared queue.
+		var frag uint64
+		empty := false
+		scheme.Run(t, func() {
+			empty = false
+			idx := t.Load(in.head)
+			if idx >= total {
+				empty = true
+				return
+			}
+			t.Store(in.head, idx+1)
+			frag = t.Load(in.queue + mem.Addr(idx))
+		})
+		if empty {
+			return
+		}
+		flow := frag >> 16
+
+		// Decode the fragment outside any critical section.
+		t.Work(25)
+
+		// Critical section 2: reassemble; on flow completion, scan
+		// for the attack signature and record the detection.
+		scheme.Run(t, func() {
+			cnt := t.Load(in.seen+mem.Addr(flow)) + 1
+			t.Store(in.seen+mem.Addr(flow), cnt)
+			if cnt == uint64(in.perFlow) {
+				t.Work(uint64(10 * in.perFlow)) // signature scan
+				t.Store(in.done+mem.Addr(flow), 1)
+				if t.Load(in.isAttack+mem.Addr(flow)) == 1 {
+					t.Store(in.detected, t.Load(in.detected)+1)
+				}
+			}
+		})
+	}
+}
+
+// Validate implements App.
+func (in *Intruder) Validate(t *tsx.Thread) error {
+	if got := t.Load(in.detected); got != uint64(in.nAttacks) {
+		return fmt.Errorf("detected %d attacks, want %d", got, in.nAttacks)
+	}
+	for f := 0; f < in.nFlows; f++ {
+		if got := t.Load(in.seen + mem.Addr(f)); got != uint64(in.perFlow) {
+			return fmt.Errorf("flow %d reassembled %d fragments, want %d", f, got, in.perFlow)
+		}
+		if t.Load(in.done+mem.Addr(f)) != 1 {
+			return fmt.Errorf("flow %d never completed", f)
+		}
+	}
+	if got := t.Load(in.head); got != uint64(in.nFlows*in.perFlow) {
+		return fmt.Errorf("queue head %d, want %d", got, in.nFlows*in.perFlow)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package stamp
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// KMeans models STAMP's clustering benchmark: iterations alternate a
+// parallel assignment phase (reading points and centroids, no lock) with
+// very short critical sections that fold each point into its cluster's
+// accumulator. Contention is set by the cluster count: kmeans-high uses few
+// clusters (hot accumulators), kmeans-low many.
+type KMeans struct {
+	nPoints   int
+	nClusters int
+	dims      int
+	iters     int
+
+	points    mem.Addr // nPoints * dims coordinates
+	centroids mem.Addr // nClusters * dims current centroids
+	sums      mem.Addr // nClusters * dims accumulator sums
+	counts    mem.Addr // nClusters membership counts
+	barrier   *Barrier
+
+	inertia []uint64 // per-iteration inertia, recorded by thread 0
+}
+
+// NewKMeans creates an instance. High contention: small nClusters.
+func NewKMeans(nPoints, nClusters, dims, iters int) *KMeans {
+	return &KMeans{nPoints: nPoints, nClusters: nClusters, dims: dims, iters: iters}
+}
+
+// Name implements App.
+func (k *KMeans) Name() string {
+	return fmt.Sprintf("kmeans(k=%d)", k.nClusters)
+}
+
+// Setup implements App.
+func (k *KMeans) Setup(t *tsx.Thread) {
+	k.points = t.Alloc(k.nPoints * k.dims)
+	k.centroids = t.Alloc(k.nClusters * k.dims)
+	k.sums = t.Alloc(k.nClusters * k.dims)
+	// One extra word after the counts serves as the global inertia
+	// accumulator (sumsScratch).
+	k.counts = t.Alloc(k.nClusters + 1)
+	k.barrier = NewBarrier(t, 1)
+
+	// Points scatter around nClusters true centers, so the clustering
+	// converges quickly and inertia decreases measurably.
+	for p := 0; p < k.nPoints; p++ {
+		c := p % k.nClusters
+		for d := 0; d < k.dims; d++ {
+			base := uint64(c*1000 + d*37)
+			noise := uint64(t.Rand().Intn(200))
+			t.Store(k.points+mem.Addr(p*k.dims+d), base+noise)
+		}
+	}
+	// Initial centroids: the first point of each cluster stripe.
+	for c := 0; c < k.nClusters; c++ {
+		for d := 0; d < k.dims; d++ {
+			v := t.Load(k.points + mem.Addr(c*k.dims+d))
+			t.Store(k.centroids+mem.Addr(c*k.dims+d), v)
+		}
+	}
+}
+
+func (k *KMeans) nearest(t *tsx.Thread, p int) (int, uint64) {
+	best, bestDist := 0, ^uint64(0)
+	for c := 0; c < k.nClusters; c++ {
+		var dist uint64
+		for d := 0; d < k.dims; d++ {
+			pv := t.Load(k.points + mem.Addr(p*k.dims+d))
+			cv := t.Load(k.centroids + mem.Addr(c*k.dims+d))
+			diff := int64(pv) - int64(cv)
+			dist += uint64(diff * diff)
+		}
+		if dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best, bestDist
+}
+
+// Worker implements App.
+func (k *KMeans) Worker(t *tsx.Thread, scheme core.Scheme, threads int) {
+	if t.ID == 0 {
+		k.barrier.n = threads
+	}
+	for iter := 0; iter < k.iters; iter++ {
+		var localInertia uint64
+		// Assignment phase: no lock, reads only.
+		for p := t.ID; p < k.nPoints; p += threads {
+			c, dist := k.nearest(t, p)
+			localInertia += dist
+			// Update phase: one short critical section per point,
+			// as in STAMP.
+			scheme.Run(t, func() {
+				for d := 0; d < k.dims; d++ {
+					a := k.sums + mem.Addr(c*k.dims+d)
+					t.Store(a, t.Load(a)+t.Load(k.points+mem.Addr(p*k.dims+d)))
+				}
+				cnt := k.counts + mem.Addr(c)
+				t.Store(cnt, t.Load(cnt)+1)
+			})
+		}
+		// Fold local inertia through a short critical section too
+		// (STAMP accumulates global deltas transactionally).
+		scheme.Run(t, func() {
+			t.Store(k.sumsScratch(), t.Load(k.sumsScratch())+localInertia)
+		})
+
+		k.barrier.Wait(t)
+		if t.ID == 0 {
+			k.inertia = append(k.inertia, t.Load(k.sumsScratch()))
+			t.Store(k.sumsScratch(), 0)
+			k.recenter(t)
+		}
+		k.barrier.Wait(t)
+	}
+}
+
+// sumsScratch is the global inertia accumulator; it lives on the counts
+// line's successor (allocated once in Setup via an extra word trick).
+func (k *KMeans) sumsScratch() mem.Addr { return k.counts + mem.Addr(k.nClusters) }
+
+// recenter recomputes centroids from the accumulators and clears them.
+func (k *KMeans) recenter(t *tsx.Thread) {
+	for c := 0; c < k.nClusters; c++ {
+		cnt := t.Load(k.counts + mem.Addr(c))
+		if cnt > 0 {
+			for d := 0; d < k.dims; d++ {
+				sum := t.Load(k.sums + mem.Addr(c*k.dims+d))
+				t.Store(k.centroids+mem.Addr(c*k.dims+d), sum/cnt)
+			}
+		}
+		for d := 0; d < k.dims; d++ {
+			t.Store(k.sums+mem.Addr(c*k.dims+d), 0)
+		}
+		t.Store(k.counts+mem.Addr(c), 0)
+	}
+}
+
+// Validate implements App: inertia must be recorded for every iteration and
+// must not increase (k-means monotonicity), and a final serial pass must
+// account for every point.
+func (k *KMeans) Validate(t *tsx.Thread) error {
+	if len(k.inertia) != k.iters {
+		return fmt.Errorf("recorded %d inertia values, want %d", len(k.inertia), k.iters)
+	}
+	for i := 1; i < len(k.inertia); i++ {
+		// Integer centroid rounding can nudge inertia by a hair; lost
+		// accumulator updates inflate it by far more than 1%.
+		if k.inertia[i] > k.inertia[i-1]+k.inertia[i-1]/100 {
+			return fmt.Errorf("inertia increased at iteration %d: %d -> %d (lost centroid updates)",
+				i, k.inertia[i-1], k.inertia[i])
+		}
+	}
+	total := 0
+	counts := make([]int, k.nClusters)
+	for p := 0; p < k.nPoints; p++ {
+		c, _ := k.nearest(t, p)
+		counts[c]++
+		total++
+	}
+	if total != k.nPoints {
+		return fmt.Errorf("accounted %d points, want %d", total, k.nPoints)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package stamp
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Labyrinth models STAMP's path-routing benchmark, the suite's
+// capacity-abort-heavy member (the paper's Figure 5.4 omits it, so this is
+// an extension workload): each transaction breadth-first-searches a shared
+// grid for a free path between two endpoints and claims the path's cells.
+// The BFS pulls a large fraction of the grid into the read set, so on
+// grids near the L1 read-set capacity transactions abort on capacity and
+// fall back — exactly the published HTM behaviour for labyrinth.
+type Labyrinth struct {
+	w, h      int
+	nRequests int
+
+	grid mem.Addr // w*h cells: 0 = free, else 1+request index
+	reqs mem.Addr // packed (src<<32 | dst)
+	next mem.Addr // shared request dispenser
+
+	// scratch is each thread's private grid copy, written inside the
+	// routing transaction exactly as the original labyrinth copies the
+	// maze before routing — the source of its write-set overflows.
+	scratch [64]mem.Addr
+
+	// routed[i] is the path claimed for request i (Go-side record of
+	// the completing execution), nil if unroutable.
+	routed [][]int
+}
+
+// NewLabyrinth creates a w×h grid with nRequests random routing requests.
+func NewLabyrinth(w, h, nRequests int) *Labyrinth {
+	return &Labyrinth{w: w, h: h, nRequests: nRequests, routed: make([][]int, nRequests)}
+}
+
+// Name implements App.
+func (l *Labyrinth) Name() string { return "labyrinth" }
+
+// Setup implements App.
+func (l *Labyrinth) Setup(t *tsx.Thread) {
+	l.grid = t.Alloc(l.w * l.h)
+	l.reqs = t.Alloc(l.nRequests)
+	l.next = t.AllocLines(1)
+	for i := 0; i < l.nRequests; i++ {
+		src := t.Rand().Intn(l.w * l.h)
+		dst := t.Rand().Intn(l.w * l.h)
+		for dst == src {
+			dst = t.Rand().Intn(l.w * l.h)
+		}
+		t.Store(l.reqs+mem.Addr(i), uint64(src)<<32|uint64(dst))
+	}
+}
+
+// neighbors appends cell c's grid neighbours to buf.
+func (l *Labyrinth) neighbors(c int, buf []int) []int {
+	x, y := c%l.w, c/l.w
+	if x > 0 {
+		buf = append(buf, c-1)
+	}
+	if x < l.w-1 {
+		buf = append(buf, c+1)
+	}
+	if y > 0 {
+		buf = append(buf, c-l.w)
+	}
+	if y < l.h-1 {
+		buf = append(buf, c+l.w)
+	}
+	return buf
+}
+
+// route is the transactional body: copy the grid into the thread's private
+// scratch (transactional writes — the original labyrinth does the same,
+// which is why its write sets overflow HTM capacity on large mazes), BFS
+// over the copy, then claim the path on the shared grid.
+func (l *Labyrinth) route(t *tsx.Thread, id int, src, dst int) []int {
+	scratch := l.scratch[t.ID]
+	for c := 0; c < l.w*l.h; c++ {
+		t.Store(scratch+mem.Addr(c), t.Load(l.grid+mem.Addr(c)))
+	}
+	free := func(c int) bool {
+		return t.Load(scratch+mem.Addr(c)) == 0
+	}
+	if !free(src) || !free(dst) {
+		return nil
+	}
+	parent := make(map[int]int, 64)
+	parent[src] = src
+	queue := []int{src}
+	var nbuf [4]int
+	found := false
+	for len(queue) > 0 && !found {
+		c := queue[0]
+		queue = queue[1:]
+		for _, n := range l.neighbors(c, nbuf[:0]) {
+			if _, seen := parent[n]; seen {
+				continue
+			}
+			if !free(n) {
+				continue
+			}
+			parent[n] = c
+			if n == dst {
+				found = true
+				break
+			}
+			queue = append(queue, n)
+		}
+	}
+	if !found {
+		return nil
+	}
+	var path []int
+	for c := dst; ; c = parent[c] {
+		path = append(path, c)
+		if c == src {
+			break
+		}
+	}
+	for _, c := range path {
+		t.Store(l.grid+mem.Addr(c), uint64(id+1))
+	}
+	return path
+}
+
+// Worker implements App.
+func (l *Labyrinth) Worker(t *tsx.Thread, scheme core.Scheme, threads int) {
+	l.scratch[t.ID] = t.Alloc(l.w * l.h)
+	for {
+		i := t.FetchAdd(l.next, 1)
+		if i >= uint64(l.nRequests) {
+			return
+		}
+		req := t.Load(l.reqs + mem.Addr(i))
+		src, dst := int(req>>32), int(req&0xffffffff)
+		var path []int
+		scheme.Run(t, func() {
+			path = l.route(t, int(i), src, dst)
+		})
+		l.routed[i] = path
+	}
+}
+
+// Validate implements App: every routed path is contiguous, connects its
+// endpoints, and owns its grid cells exclusively; every claimed cell
+// belongs to exactly the path that claims it.
+func (l *Labyrinth) Validate(t *tsx.Thread) error {
+	claimed := map[int]int{} // cell -> request index
+	for i, path := range l.routed {
+		if path == nil {
+			continue
+		}
+		req := t.Load(l.reqs + mem.Addr(i))
+		src, dst := int(req>>32), int(req&0xffffffff)
+		if path[len(path)-1] != src || path[0] != dst {
+			return fmt.Errorf("request %d: path endpoints %d..%d, want %d..%d",
+				i, path[len(path)-1], path[0], src, dst)
+		}
+		for j := 1; j < len(path); j++ {
+			a, b := path[j-1], path[j]
+			ax, ay := a%l.w, a/l.w
+			bx, by := b%l.w, b/l.w
+			manhattan := abs(ax-bx) + abs(ay-by)
+			if manhattan != 1 {
+				return fmt.Errorf("request %d: cells %d and %d not adjacent", i, a, b)
+			}
+		}
+		for _, c := range path {
+			if prev, dup := claimed[c]; dup {
+				return fmt.Errorf("cell %d claimed by requests %d and %d (paths overlap)", c, prev, i)
+			}
+			claimed[c] = i
+			if got := t.Load(l.grid + mem.Addr(c)); got != uint64(i+1) {
+				return fmt.Errorf("cell %d stamped %d, want %d", c, got, i+1)
+			}
+		}
+	}
+	// Every stamped grid cell must belong to a recorded path.
+	for c := 0; c < l.w*l.h; c++ {
+		id := t.Load(l.grid + mem.Addr(c))
+		if id == 0 {
+			continue
+		}
+		owner, ok := claimed[c]
+		if !ok || uint64(owner+1) != id {
+			return fmt.Errorf("grid cell %d stamped %d but not part of that path", c, id)
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

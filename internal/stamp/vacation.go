@@ -1,0 +1,182 @@
+package stamp
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/mem"
+	"hle/internal/rbtree"
+	"hle/internal/tsx"
+)
+
+// Vacation models STAMP's travel-reservation system: an in-memory database
+// of three resource tables (cars, flights, rooms) and a customer table, all
+// red-black trees, queried by client sessions whose transactions touch many
+// tree nodes — the suite's long-transaction member. Contention is set by
+// the relation count and the queries per session: vacation-high uses few
+// relations and more queries per transaction.
+type Vacation struct {
+	nRelations int
+	nSessions  int
+	perSession int
+	high       bool
+
+	capacity uint64
+	tables   [3]*rbtree.Tree // free-count per resource id
+	reserved [3]mem.Addr     // per-resource reserved counters
+	customer *rbtree.Tree    // customer id -> reservation count
+	nextSess mem.Addr        // shared session dispenser
+}
+
+// Resource table indices.
+const (
+	resCar = iota
+	resFlight
+	resRoom
+)
+
+// NewVacation creates an instance with nRelations resources per table and
+// a fixed number of client sessions of perSession queries each.
+func NewVacation(nRelations, nSessions, perSession int, high bool) *Vacation {
+	return &Vacation{
+		nRelations: nRelations,
+		nSessions:  nSessions,
+		perSession: perSession,
+		high:       high,
+		capacity:   100,
+	}
+}
+
+// Name implements App.
+func (v *Vacation) Name() string {
+	if v.high {
+		return "vacation_high"
+	}
+	return "vacation_low"
+}
+
+// Setup implements App.
+func (v *Vacation) Setup(t *tsx.Thread) {
+	for i := range v.tables {
+		v.tables[i] = rbtree.New(t)
+		v.reserved[i] = t.Alloc(v.nRelations)
+		for r := 0; r < v.nRelations; r++ {
+			v.tables[i].Insert(t, uint64(r+1), v.capacity)
+		}
+	}
+	v.customer = rbtree.New(t)
+	for c := 0; c < v.nRelations; c++ {
+		v.customer.Insert(t, uint64(c+1), 0)
+	}
+	v.nextSess = t.AllocLines(1)
+}
+
+// Worker implements App: threads grab sessions from a shared dispenser and
+// run each session as one long critical section of perSession queries.
+func (v *Vacation) Worker(t *tsx.Thread, scheme core.Scheme, threads int) {
+	for {
+		sess := t.FetchAdd(v.nextSess, 1)
+		if sess >= uint64(v.nSessions) {
+			return
+		}
+		// Draw the session's action and query set outside the
+		// critical section (re-execution must be idempotent).
+		kind := t.Rand().Intn(100)
+		custID := uint64(t.Rand().Intn(v.nRelations) + 1)
+		type query struct {
+			table int
+			id    uint64
+		}
+		queries := make([]query, v.perSession)
+		for i := range queries {
+			queries[i] = query{
+				table: t.Rand().Intn(3),
+				id:    uint64(t.Rand().Intn(v.nRelations) + 1),
+			}
+		}
+		scheme.Run(t, func() {
+			switch {
+			case kind < 80:
+				// Reservation: scan the priced offers, then book
+				// the last available one for the customer.
+				booked := -1
+				for i, q := range queries {
+					if free, ok := v.tables[q.table].Lookup(t, q.id); ok && free > 0 {
+						booked = i
+					}
+				}
+				if booked >= 0 {
+					q := queries[booked]
+					free, _ := v.tables[q.table].Lookup(t, q.id)
+					v.tables[q.table].Insert(t, q.id, free-1)
+					res := v.reserved[q.table] + mem.Addr(q.id-1)
+					t.Store(res, t.Load(res)+1)
+					cnt, _ := v.customer.Lookup(t, custID)
+					v.customer.Insert(t, custID, cnt+1)
+				}
+			case kind < 90:
+				// Cancellation: release one of the customer's
+				// reservations (aggregate bookkeeping).
+				cnt, _ := v.customer.Lookup(t, custID)
+				if cnt == 0 {
+					return
+				}
+				for _, q := range queries {
+					res := v.reserved[q.table] + mem.Addr(q.id-1)
+					if r := t.Load(res); r > 0 {
+						t.Store(res, r-1)
+						free, _ := v.tables[q.table].Lookup(t, q.id)
+						v.tables[q.table].Insert(t, q.id, free+1)
+						v.customer.Insert(t, custID, cnt-1)
+						return
+					}
+				}
+			default:
+				// Table update: the manager adjusts capacities
+				// (add one unit to each queried resource).
+				for _, q := range queries {
+					free, ok := v.tables[q.table].Lookup(t, q.id)
+					if ok {
+						v.tables[q.table].Insert(t, q.id, free+1)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Validate implements App: conservation — for every resource, free plus
+// reserved equals the capacity history (initial plus manager additions),
+// and customer reservation counts equal total reservations.
+func (v *Vacation) Validate(t *tsx.Thread) error {
+	var totalReserved uint64
+	for i := range v.tables {
+		for r := 0; r < v.nRelations; r++ {
+			free, ok := v.tables[i].Lookup(t, uint64(r+1))
+			if !ok {
+				return fmt.Errorf("table %d lost resource %d", i, r+1)
+			}
+			reserved := t.Load(v.reserved[i] + mem.Addr(r))
+			totalReserved += reserved
+			// free+reserved >= initial capacity: manager updates
+			// only add units, reservations conserve the sum.
+			if free+reserved < v.capacity {
+				return fmt.Errorf("table %d resource %d: free %d + reserved %d < capacity %d",
+					i, r+1, free, reserved, v.capacity)
+			}
+		}
+	}
+	var totalCustomer uint64
+	for c := 0; c < v.nRelations; c++ {
+		cnt, ok := v.customer.Lookup(t, uint64(c+1))
+		if !ok {
+			return fmt.Errorf("lost customer %d", c+1)
+		}
+		totalCustomer += cnt
+	}
+	if totalCustomer != totalReserved {
+		return fmt.Errorf("customer reservations %d != resource reservations %d (atomicity broken)",
+			totalCustomer, totalReserved)
+	}
+	return nil
+}

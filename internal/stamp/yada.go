@@ -1,0 +1,195 @@
+package stamp
+
+import (
+	"fmt"
+
+	"hle/internal/core"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// Yada models STAMP's Delaunay mesh refinement (an extension workload; the
+// paper's Figure 5.4 omits it): workers pop "bad" elements from a shared
+// work queue and refine them — reading the element's neighbourhood,
+// retiring it, and inserting replacement elements, occasionally spoiling a
+// neighbour so it needs refinement too. Transactions are moderately long
+// with a contended work queue, between vacation and intruder in profile.
+//
+// Element record layout (elemWords words, one per cache line):
+//
+//	[0] state: 0 unused, 1 good, 2 bad, 3 retired
+//	[1..3] neighbour element ids (0 = none)
+type Yada struct {
+	nInitial int
+	maxElems int
+
+	elems    mem.Addr // element records, elemWords each
+	nextElem mem.Addr // element allocation cursor (id+1 of next free slot)
+	stack    mem.Addr // work stack of bad element ids
+	stackTop mem.Addr // stack height
+	retired  mem.Addr // retired-element counter
+}
+
+const (
+	elemWords = 4
+
+	elemUnused  = 0
+	elemGood    = 1
+	elemBad     = 2
+	elemRetired = 3
+)
+
+// NewYada creates a refinement instance with nInitial elements, a fraction
+// of which start bad.
+func NewYada(nInitial int) *Yada {
+	return &Yada{nInitial: nInitial, maxElems: nInitial * 8}
+}
+
+// Name implements App.
+func (y *Yada) Name() string { return "yada" }
+
+func (y *Yada) elem(id uint64) mem.Addr {
+	return y.elems + mem.Addr((id-1)*elemWords)
+}
+
+// Setup implements App.
+func (y *Yada) Setup(t *tsx.Thread) {
+	y.elems = t.Alloc(y.maxElems * elemWords)
+	y.nextElem = t.AllocLines(1)
+	y.stack = t.Alloc(y.maxElems)
+	y.stackTop = t.AllocLines(1)
+	y.retired = t.AllocLines(1)
+
+	// A ring of elements, each neighbouring its predecessor and
+	// successor; every third element starts bad.
+	for i := 0; i < y.nInitial; i++ {
+		id := uint64(i + 1)
+		e := y.elem(id)
+		state := uint64(elemGood)
+		if i%3 == 0 {
+			state = elemBad
+		}
+		t.Store(e, state)
+		prev := uint64((i+y.nInitial-1)%y.nInitial) + 1
+		next := uint64((i+1)%y.nInitial) + 1
+		t.Store(e+1, prev)
+		t.Store(e+2, next)
+		if state == elemBad {
+			top := t.Load(y.stackTop)
+			t.Store(y.stack+mem.Addr(top), id)
+			t.Store(y.stackTop, top+1)
+		}
+	}
+	t.Store(y.nextElem, uint64(y.nInitial+1))
+}
+
+// refine is the transactional body: pop a bad element, read its cavity,
+// retire it, insert two replacements, and possibly spoil a neighbour.
+// Returns false when the queue is empty.
+func (y *Yada) refine(t *tsx.Thread) bool {
+	top := t.Load(y.stackTop)
+	if top == 0 {
+		return false
+	}
+	id := t.Load(y.stack + mem.Addr(top-1))
+	t.Store(y.stackTop, top-1)
+
+	e := y.elem(id)
+	if t.Load(e) != elemBad {
+		// Already handled via a neighbour's cavity; nothing to do.
+		return true
+	}
+
+	// Read the cavity: the element and its neighbourhood out to two hops.
+	var cavity []uint64
+	for slot := 1; slot <= 3; slot++ {
+		n := t.Load(e + mem.Addr(slot))
+		if n == 0 {
+			continue
+		}
+		cavity = append(cavity, n)
+		for s2 := 1; s2 <= 3; s2++ {
+			if n2 := t.Load(y.elem(n) + mem.Addr(s2)); n2 != 0 && n2 != id {
+				cavity = append(cavity, n2)
+			}
+		}
+	}
+	t.Work(uint64(20 * (len(cavity) + 1))) // geometry computation
+
+	// Retire the bad element and insert two replacements linked to the
+	// old neighbours.
+	t.Store(e, elemRetired)
+	t.Store(y.retired, t.Load(y.retired)+1)
+	next := t.Load(y.nextElem)
+	if next+1 >= uint64(y.maxElems) {
+		return true // mesh budget exhausted; count the retirement only
+	}
+	t.Store(y.nextElem, next+2)
+	a, b := next, next+1
+	t.Store(y.elem(a), elemGood)
+	t.Store(y.elem(a)+1, t.Load(e+1))
+	t.Store(y.elem(a)+2, b)
+	t.Store(y.elem(b), elemGood)
+	t.Store(y.elem(b)+1, a)
+	t.Store(y.elem(b)+2, t.Load(e+2))
+
+	// Occasionally a cavity neighbour becomes bad (deterministic rule:
+	// its id divisible by 7 and still good).
+	for _, n := range cavity {
+		if n%7 == 0 && t.Load(y.elem(n)) == elemGood {
+			t.Store(y.elem(n), elemBad)
+			top := t.Load(y.stackTop)
+			t.Store(y.stack+mem.Addr(top), n)
+			t.Store(y.stackTop, top+1)
+			break
+		}
+	}
+	return true
+}
+
+// Worker implements App.
+func (y *Yada) Worker(t *tsx.Thread, scheme core.Scheme, threads int) {
+	for {
+		more := true
+		scheme.Run(t, func() {
+			more = y.refine(t)
+		})
+		if !more {
+			return
+		}
+	}
+}
+
+// Validate implements App: no bad elements remain, the work stack is
+// empty, and element accounting balances (every retirement corresponds to
+// a formerly-bad element; live elements are all good).
+func (y *Yada) Validate(t *tsx.Thread) error {
+	if top := t.Load(y.stackTop); top != 0 {
+		return fmt.Errorf("work stack still has %d entries", top)
+	}
+	lastID := t.Load(y.nextElem) - 1
+	var good, retired uint64
+	for id := uint64(1); id <= lastID; id++ {
+		switch t.Load(y.elem(id)) {
+		case elemGood:
+			good++
+		case elemRetired:
+			retired++
+		case elemBad:
+			return fmt.Errorf("element %d still bad with an empty work stack", id)
+		default:
+			return fmt.Errorf("element %d in unused state but below the allocation cursor", id)
+		}
+	}
+	if got := t.Load(y.retired); got != retired {
+		return fmt.Errorf("retired counter %d, but %d retired elements found", got, retired)
+	}
+	// Each retirement inserted two replacements (unless the budget was
+	// hit, which these sizes never do): live = initial - retired + 2*inserted.
+	wantLive := uint64(y.nInitial) + retired // -retired + 2*retired
+	if good != wantLive {
+		return fmt.Errorf("live elements %d, want %d (initial %d + net growth %d)",
+			good, wantLive, y.nInitial, retired)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package stats provides time-sliced series and text-table rendering for
+// the benchmark harness and the figure generators.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Slice accumulates operations completing within one time slot.
+type Slice struct {
+	Ops     uint64
+	NonSpec uint64
+}
+
+// Timeline is a per-slot completion series in virtual time, the basis of
+// Figure 3.3's serialization-dynamics plots.
+type Timeline struct {
+	SlotCycles uint64
+	Slots      []Slice
+}
+
+// NewTimeline creates a timeline with the given slot width in cycles.
+func NewTimeline(slotCycles uint64) *Timeline {
+	return &Timeline{SlotCycles: slotCycles}
+}
+
+// Record logs one completed operation at the given virtual time.
+func (tl *Timeline) Record(clock uint64, spec bool) {
+	if tl.SlotCycles == 0 {
+		return
+	}
+	slot := int(clock / tl.SlotCycles)
+	for len(tl.Slots) <= slot {
+		tl.Slots = append(tl.Slots, Slice{})
+	}
+	tl.Slots[slot].Ops++
+	if !spec {
+		tl.Slots[slot].NonSpec++
+	}
+}
+
+// NormalizedOps returns each slot's throughput normalized to the mean
+// throughput over all slots (the top panes of Figure 3.3).
+func (tl *Timeline) NormalizedOps() []float64 {
+	if len(tl.Slots) == 0 {
+		return nil
+	}
+	var total uint64
+	for _, s := range tl.Slots {
+		total += s.Ops
+	}
+	mean := float64(total) / float64(len(tl.Slots))
+	out := make([]float64, len(tl.Slots))
+	for i, s := range tl.Slots {
+		if mean > 0 {
+			out[i] = float64(s.Ops) / mean
+		}
+	}
+	return out
+}
+
+// NonSpecFractions returns each slot's non-speculative completion fraction
+// (the bottom panes of Figure 3.3).
+func (tl *Timeline) NonSpecFractions() []float64 {
+	out := make([]float64, len(tl.Slots))
+	for i, s := range tl.Slots {
+		if s.Ops > 0 {
+			out[i] = float64(s.NonSpec) / float64(s.Ops)
+		}
+	}
+	return out
+}
+
+// Table is a simple text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// FprintCSV renders the table as CSV (title as a comment line), for
+// feeding the figure data into plotting tools.
+func (t *Table) FprintCSV(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	esc := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		return strings.Join(out, ",")
+	}
+	fmt.Fprintln(w, esc(t.Header))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, esc(row))
+	}
+}
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F3 formats a float with three decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// E2 formats a float in scientific notation.
+func E2(v float64) string { return fmt.Sprintf("%.2e", v) }
+
+// U formats an unsigned integer.
+func U(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// I formats an integer.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// SizeLabel formats a byte/element count the way the paper's x axes do
+// (2, 8, ..., 2K, 8K, ..., 512K, 2M).
+func SizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Sparkline renders values as a compact unicode strip chart, used by the
+// time-series figures.
+func Sparkline(vals []float64, max float64) string {
+	if max <= 0 {
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range vals {
+		idx := int(v / max * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineRecording(t *testing.T) {
+	tl := NewTimeline(100)
+	tl.Record(50, true)   // slot 0
+	tl.Record(150, false) // slot 1
+	tl.Record(160, true)  // slot 1
+	tl.Record(550, false) // slot 5
+	if len(tl.Slots) != 6 {
+		t.Fatalf("slots = %d, want 6", len(tl.Slots))
+	}
+	if tl.Slots[0].Ops != 1 || tl.Slots[0].NonSpec != 0 {
+		t.Errorf("slot 0 = %+v", tl.Slots[0])
+	}
+	if tl.Slots[1].Ops != 2 || tl.Slots[1].NonSpec != 1 {
+		t.Errorf("slot 1 = %+v", tl.Slots[1])
+	}
+	if tl.Slots[5].NonSpec != 1 {
+		t.Errorf("slot 5 = %+v", tl.Slots[5])
+	}
+}
+
+func TestTimelineZeroSlotIsNoop(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Record(50, true)
+	if len(tl.Slots) != 0 {
+		t.Fatal("zero-slot timeline recorded")
+	}
+	if tl.NormalizedOps() != nil {
+		t.Fatal("empty timeline should normalize to nil")
+	}
+}
+
+// TestNormalizedOpsMeanIsOne: normalization property — the mean of the
+// normalized series is 1 for any non-empty recording.
+func TestNormalizedOpsMeanIsOne(t *testing.T) {
+	f := func(raw []uint8) bool {
+		tl := NewTimeline(10)
+		any := false
+		for i, r := range raw {
+			if i >= 20 {
+				break
+			}
+			for j := 0; j < int(r%5); j++ {
+				tl.Record(uint64(i*10+j), r%2 == 0)
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		norm := tl.NormalizedOps()
+		var sum float64
+		for _, v := range norm {
+			sum += v
+		}
+		mean := sum / float64(len(norm))
+		return mean > 0.999 && mean < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonSpecFractions(t *testing.T) {
+	tl := NewTimeline(10)
+	tl.Record(5, true)
+	tl.Record(6, false)
+	fr := tl.NonSpecFractions()
+	if len(fr) != 1 || fr[0] != 0.5 {
+		t.Fatalf("fractions = %v", fr)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1.00")
+	tb.AddRow("b", "10.00")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	// Columns align: every row has the same rune width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Errorf("misaligned line %q (want width %d)", l, w)
+		}
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{
+		2:         "2",
+		512:       "512",
+		2048:      "2K",
+		524288:    "512K",
+		2 << 20:   "2M",
+		8 << 20:   "8M",
+		1000:      "1000", // not a multiple of 1024
+		3 * 1024:  "3K",
+		128 << 10: "128K",
+	}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1}, 1)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	if Sparkline(nil, 0) != "" {
+		t.Error("empty sparkline should be empty string")
+	}
+	// Out-of-range values clamp instead of panicking.
+	_ = Sparkline([]float64{-1, 99}, 1)
+}
+
+func TestFormatters(t *testing.T) {
+	if F2(1.005) == "" || F3(0.1234) != "0.123" || U(7) != "7" || I(-2) != "-2" {
+		t.Error("formatter output wrong")
+	}
+	if E2(0.000123) != "1.23e-04" {
+		t.Errorf("E2 = %q", E2(0.000123))
+	}
+}
+
+func TestFprintCSV(t *testing.T) {
+	tb := &Table{
+		Title:  "csv demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("plain", "1.00")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var sb strings.Builder
+	tb.FprintCSV(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV rendered %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "# csv demo" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if lines[1] != "name,value" {
+		t.Errorf("header line %q", lines[1])
+	}
+	if lines[2] != "plain,1.00" {
+		t.Errorf("row line %q", lines[2])
+	}
+	if lines[3] != `"with,comma","with""quote"` {
+		t.Errorf("escaped row %q", lines[3])
+	}
+}

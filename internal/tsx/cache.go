@@ -1,0 +1,56 @@
+package tsx
+
+import "hle/internal/mem"
+
+// lineCache approximates a thread's private cache for *cost* purposes (not
+// correctness — conflict detection is exact and separate): a bounded FIFO
+// set of recently-touched lines. An access outside the set pays
+// Costs.Miss and enters it, evicting the oldest entry.
+//
+// The model is enabled by Config.CacheLines > 0 and default-off: the
+// paper's shapes do not depend on it (path length already scales critical
+// sections), but it sharpens the absolute throughput-vs-size slope; the
+// abl-miss ablation quantifies the difference.
+type lineCache struct {
+	member map[int]struct{}
+	fifo   []int
+	head   int
+}
+
+func newLineCache(capacity int) *lineCache {
+	return &lineCache{
+		member: make(map[int]struct{}, capacity),
+		fifo:   make([]int, 0, capacity),
+	}
+}
+
+// touch reports whether line was cached, inserting it either way.
+func (c *lineCache) touch(line int) bool {
+	if _, ok := c.member[line]; ok {
+		return true
+	}
+	if len(c.fifo) < cap(c.fifo) {
+		c.fifo = append(c.fifo, line)
+	} else {
+		victim := c.fifo[c.head]
+		delete(c.member, victim)
+		c.fifo[c.head] = line
+		c.head++
+		if c.head == len(c.fifo) {
+			c.head = 0
+		}
+	}
+	c.member[line] = struct{}{}
+	return false
+}
+
+// chargeAccess applies the cache-miss surcharge for an access to addr when
+// cache cost modeling is enabled.
+func (t *Thread) chargeAccess(a mem.Addr) {
+	if t.cache == nil {
+		return
+	}
+	if !t.cache.touch(mem.LineOf(a)) {
+		t.Step(t.m.cfg.Costs.Miss)
+	}
+}

@@ -1,0 +1,75 @@
+package tsx
+
+import (
+	"testing"
+
+	"hle/internal/mem"
+)
+
+func TestLineCacheFIFO(t *testing.T) {
+	c := newLineCache(2)
+	if c.touch(1) {
+		t.Fatal("cold line reported hit")
+	}
+	if !c.touch(1) {
+		t.Fatal("warm line reported miss")
+	}
+	c.touch(2)
+	c.touch(3) // evicts 1 (FIFO)
+	if c.touch(1) {
+		t.Fatal("evicted line reported hit")
+	}
+	if !c.touch(3) {
+		t.Fatal("resident line reported miss")
+	}
+}
+
+// TestCacheCostModel: with the model enabled, a strided scan over many
+// lines costs more virtual time than repeated access to one line.
+func TestCacheCostModel(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SpuriousPerAccess = 0
+	cfg.CostJitter = -1
+	cfg.CacheLines = 16
+	cfg.MemWords = 1 << 14
+	m := NewMachine(cfg)
+	m.RunOne(func(th *Thread) {
+		arr := th.AllocLines(64 * mem.LineWords)
+		hotStart := th.Clock()
+		for i := 0; i < 64; i++ {
+			_ = th.Load(arr) // same line every time
+		}
+		hot := th.Clock() - hotStart
+
+		coldStart := th.Clock()
+		for i := 0; i < 64; i++ {
+			_ = th.Load(arr + mem.Addr((i%64)*mem.LineWords)) // new line each time
+		}
+		cold := th.Clock() - coldStart
+		if cold <= hot {
+			t.Fatalf("strided scan (%d cycles) not slower than hot loop (%d)", cold, hot)
+		}
+		// 64 misses at Miss=60 against ~1 warm-up miss.
+		if cold < hot+60*50 {
+			t.Fatalf("miss surcharge too small: cold=%d hot=%d", cold, hot)
+		}
+	})
+}
+
+// TestCacheModelOffByDefault: the default config charges no miss costs.
+func TestCacheModelOffByDefault(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SpuriousPerAccess = 0
+	cfg.CostJitter = -1
+	m := NewMachine(cfg)
+	m.RunOne(func(th *Thread) {
+		arr := th.AllocLines(64 * mem.LineWords)
+		start := th.Clock()
+		for i := 0; i < 64; i++ {
+			_ = th.Load(arr + mem.Addr(i*mem.LineWords))
+		}
+		if got := th.Clock() - start; got != 64*m.cfg.Costs.Load {
+			t.Fatalf("64 loads cost %d, want %d (no miss charges)", got, 64*m.cfg.Costs.Load)
+		}
+	})
+}

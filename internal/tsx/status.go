@@ -1,0 +1,99 @@
+package tsx
+
+import "hle/internal/mem"
+
+// Cause classifies why a transaction aborted, mirroring the abort-status
+// information the RTM interface writes to EAX (plus simulator-internal
+// causes).
+type Cause uint8
+
+// Abort causes.
+const (
+	// CauseNone means the transaction did not abort.
+	CauseNone Cause = iota
+	// CauseConflict is a data conflict detected through the (simulated)
+	// cache-coherence protocol; requestor wins, the detecting
+	// transaction aborts.
+	CauseConflict
+	// CauseCapacityWrite is a write-set overflow (more than
+	// Config.WriteSetLines distinct lines written).
+	CauseCapacityWrite
+	// CauseCapacityRead is a read-set overflow or an eviction from the
+	// imprecise read-set tracker.
+	CauseCapacityRead
+	// CauseExplicit is a software XABORT.
+	CauseExplicit
+	// CauseSpurious is an abort not explained by conflicts or capacity,
+	// which §2.2 observes on real Haswell even in conflict-free runs.
+	CauseSpurious
+	// CausePause is a PAUSE instruction executed transactionally.
+	CausePause
+	// CauseHLERestore is an XRELEASE store that failed to restore the
+	// elided lock to its pre-XACQUIRE value.
+	CauseHLERestore
+	// CauseNested is an unsupported nesting combination.
+	CauseNested
+
+	numCauses = int(CauseNested) + 1
+)
+
+// String returns a short human-readable name for the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseConflict:
+		return "conflict"
+	case CauseCapacityWrite:
+		return "capacity-write"
+	case CauseCapacityRead:
+		return "capacity-read"
+	case CauseExplicit:
+		return "explicit"
+	case CauseSpurious:
+		return "spurious"
+	case CausePause:
+		return "pause"
+	case CauseHLERestore:
+		return "hle-restore"
+	case CauseNested:
+		return "nested"
+	}
+	return "unknown"
+}
+
+// Status is the abort status delivered to RTM fallback code. It corresponds
+// to the EAX abort-status register, extended with the conflict address — the
+// "abort information provided by the hardware" that the paper's future-work
+// section proposes exploiting.
+type Status struct {
+	// Cause is the primary abort cause.
+	Cause Cause
+	// Code is the XABORT immediate operand, valid when Cause is
+	// CauseExplicit.
+	Code uint8
+	// MayRetry indicates the abort is transient (conflicts, spurious and
+	// pause aborts), analogous to the EAX retry bit. Capacity aborts
+	// clear it.
+	MayRetry bool
+	// ConflictAddr is the first word of the conflicting cache line,
+	// valid when Cause is CauseConflict.
+	ConflictAddr mem.Addr
+}
+
+// statusFor derives the fallback-visible Status from a finished txState.
+func statusFor(tx *txState) Status {
+	st := Status{Cause: tx.abortCause, Code: tx.abortCode}
+	switch tx.abortCause {
+	case CauseConflict, CauseSpurious, CausePause, CauseExplicit:
+		st.MayRetry = true
+	}
+	if tx.abortCause == CauseConflict {
+		st.ConflictAddr = mem.LineAddr(tx.conflictLine)
+	}
+	return st
+}
+
+// txAbortSignal is the panic value used to unwind a simulated rollback.
+// The abort details live in the thread's txState.
+type txAbortSignal struct{}

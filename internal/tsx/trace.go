@@ -1,0 +1,17 @@
+package tsx
+
+import "hle/internal/mem"
+
+// TraceFunc receives engine events when tracing is enabled. Intended for
+// debugging and tests; nil disables tracing.
+type TraceFunc func(threadID int, event string, addr mem.Addr, val uint64)
+
+// Trace is the machine-wide trace hook (set before Run; no synchronization
+// needed because simulated execution is token-serialized).
+var Trace TraceFunc
+
+func (t *Thread) trace(event string, addr mem.Addr, val uint64) {
+	if Trace != nil {
+		Trace(t.ID, event, addr, val)
+	}
+}

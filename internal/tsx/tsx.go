@@ -1,0 +1,373 @@
+// Package tsx simulates Intel's Transactional Synchronization Extensions
+// (TSX) as implemented by the Haswell microarchitecture, following the rules
+// the paper extracts from Intel's documentation (§2):
+//
+//   - Read and write sets are tracked at cache-line granularity. The write
+//     set must fit in the 32 KB L1 (512 lines); the read set is tracked
+//     precisely in the L1 and imprecisely beyond it, with an eviction-abort
+//     probability that rises as the read set grows.
+//   - Conflict management is requestor wins: an incoming write dooms every
+//     other transaction holding the line in its read or write set; an
+//     incoming read dooms other transactional writers. The thread that
+//     detects the conflict aborts.
+//   - Transactions are prone to spurious aborts even without conflicts.
+//   - PAUSE inside a transaction aborts it.
+//   - HLE: an XACQUIRE-prefixed store begins a transaction and elides the
+//     store, placing the lock's cache line in the read set while giving the
+//     transaction the illusion the store happened. The XRELEASE store must
+//     restore the lock to its pre-XACQUIRE value or the transaction aborts.
+//     After an abort, the acquiring store is re-executed once without
+//     elision.
+//
+// Hardware rollback is modeled by panic/recover unwinding to the begin
+// point, which is why critical sections execute as closures.
+package tsx
+
+import (
+	"math"
+
+	"hle/internal/mem"
+	"hle/internal/sim"
+)
+
+// CostModel assigns virtual-cycle costs to simulated operations. The
+// absolute values are loosely modeled on Haswell latencies; only ratios
+// matter for the shapes the benchmarks reproduce.
+type CostModel struct {
+	Load   uint64 // cached load
+	Store  uint64 // cached store
+	RMW    uint64 // atomic read-modify-write (LOCK-prefixed)
+	Begin  uint64 // transaction begin (XBEGIN / XACQUIRE)
+	Commit uint64 // transaction commit
+	Abort  uint64 // rollback penalty
+	Pause  uint64 // PAUSE instruction
+	Wait   uint64 // one iteration of a hardware suspension loop (Chapter 7)
+	Miss   uint64 // cache-miss surcharge (used when Config.CacheLines > 0)
+}
+
+// DefaultCosts is a Haswell-flavored cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Load:   4,
+		Store:  4,
+		RMW:    20,
+		Begin:  40,
+		Commit: 30,
+		Abort:  150,
+		Pause:  10,
+		Wait:   20,
+		Miss:   60,
+	}
+}
+
+// Config describes the simulated machine and its TSX implementation.
+type Config struct {
+	// Procs is the number of simulated hardware threads (the paper's
+	// machine exposes 8).
+	Procs int
+	// Seed drives every random decision; equal seeds give equal runs.
+	Seed int64
+	// Quantum is the scheduler quantum in cycles (see internal/sim).
+	Quantum uint64
+	// MemWords is the initial size of simulated memory in 64-bit words.
+	MemWords int
+
+	// WriteSetLines is the hard write-set capacity: 512 lines models the
+	// 32 KB L1 the paper measures in Figure 2.1.
+	WriteSetLines int
+	// L1ReadLines is the precisely-tracked read-set capacity.
+	L1ReadLines int
+	// ReadSetLines is the total read-set capacity of the imprecise
+	// secondary tracking structure (Figure 2.1 shows reads surviving to
+	// multi-megabyte sizes; 131072 lines models 8 MB).
+	ReadSetLines int
+	// EvictExponent shapes the imprecise tracker's per-line eviction
+	// probability, ((n-L1)/(cap-L1))^EvictExponent.
+	EvictExponent float64
+	// SpuriousPerAccess is the probability that any single transactional
+	// access spuriously aborts the transaction.
+	SpuriousPerAccess float64
+	// PauseAborts controls whether PAUSE inside a transaction aborts it
+	// (true on Haswell).
+	PauseAborts bool
+	// MaxTxAccesses is a safety bound on accesses per transaction.
+	MaxTxAccesses int
+
+	// HWExt enables the Chapter 7 hardware extension: conflicts on the
+	// elided lock line do not abort; the transaction keeps running from
+	// its cache and suspends on a miss while the lock is held.
+	HWExt bool
+	// CacheLines enables per-thread cache-locality cost modeling: each
+	// thread's accesses to lines outside its most-recent CacheLines
+	// lines pay Costs.Miss extra. Zero (the default) disables the model;
+	// conflict detection is unaffected either way.
+	CacheLines int
+
+	// CostJitter randomizes each charged cost multiplicatively in
+	// [1, 1+CostJitter), modeling microarchitectural noise. Without it,
+	// identical loops phase-lock into conflict-free lockstep patterns
+	// that real machines never sustain. Negative disables; zero selects
+	// the default (0.5).
+	CostJitter float64
+
+	// NestHLEInRTM, when true, lets an XACQUIRE inside an RTM
+	// transaction start lock elision (Algorithm 3 verbatim). Haswell
+	// does not support this — the paper's experiments emulate elision
+	// with RTM — so the default is false and the prefix is ignored
+	// inside RTM, exactly as on the real hardware.
+	NestHLEInRTM bool
+
+	Costs CostModel
+}
+
+// DefaultConfig returns a configuration modeling the paper's Core i7-4770
+// testbed with n hardware threads.
+func DefaultConfig(n int) Config {
+	return Config{
+		Procs:             n,
+		Seed:              1,
+		MemWords:          1 << 16,
+		WriteSetLines:     512,    // 32 KB / 64 B
+		L1ReadLines:       512,    // 32 KB / 64 B
+		ReadSetLines:      131072, // 8 MB / 64 B
+		EvictExponent:     8,
+		SpuriousPerAccess: 1e-6,
+		CostJitter:        0.5,
+		PauseAborts:       true,
+		MaxTxAccesses:     1 << 21,
+		Costs:             DefaultCosts(),
+	}
+}
+
+// Machine is a simulated multicore with TSX. Create one per experiment;
+// its simulated memory persists across Run calls, so a workload can be
+// populated non-transactionally and then exercised by many threads.
+type Machine struct {
+	cfg     Config
+	Mem     *mem.Memory
+	threads []*Thread
+
+	// logOneMinusP caches log1p(-SpuriousPerAccess) for the per-begin
+	// geometric draw.
+	logOneMinusP float64
+}
+
+// NewMachine builds a machine from cfg, applying defaults for zero fields.
+func NewMachine(cfg Config) *Machine {
+	def := DefaultConfig(cfg.Procs)
+	if cfg.Procs <= 0 {
+		cfg.Procs = 8
+	}
+	if cfg.Procs > 64 {
+		panic("tsx: at most 64 simulated hardware threads")
+	}
+	if cfg.MemWords == 0 {
+		cfg.MemWords = def.MemWords
+	}
+	if cfg.WriteSetLines == 0 {
+		cfg.WriteSetLines = def.WriteSetLines
+	}
+	if cfg.L1ReadLines == 0 {
+		cfg.L1ReadLines = def.L1ReadLines
+	}
+	if cfg.ReadSetLines == 0 {
+		cfg.ReadSetLines = def.ReadSetLines
+	}
+	if cfg.EvictExponent == 0 {
+		cfg.EvictExponent = def.EvictExponent
+	}
+	if cfg.MaxTxAccesses == 0 {
+		cfg.MaxTxAccesses = def.MaxTxAccesses
+	}
+	if cfg.CostJitter == 0 {
+		cfg.CostJitter = def.CostJitter
+	} else if cfg.CostJitter < 0 {
+		cfg.CostJitter = 0
+	}
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	m := &Machine{
+		cfg: cfg,
+		Mem: mem.New(cfg.MemWords),
+	}
+	if cfg.SpuriousPerAccess > 0 {
+		m.logOneMinusP = math.Log1p(-cfg.SpuriousPerAccess)
+	}
+	return m
+}
+
+// Config returns the machine's effective configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Run simulates n hardware threads, each executing body, and returns the
+// threads (whose clocks and statistics the caller may inspect). Run may be
+// called repeatedly; simulated memory contents persist between calls.
+func (m *Machine) Run(n int, body func(t *Thread)) []*Thread {
+	if n <= 0 || n > 64 {
+		panic("tsx: Run requires 1..64 threads (line metadata is a 64-bit mask)")
+	}
+	m.threads = make([]*Thread, n)
+	simCfg := sim.Config{Procs: n, Seed: m.cfg.Seed, Quantum: m.cfg.Quantum}
+	sim.Run(simCfg, n, func(p *sim.Proc) {
+		t := &Thread{Proc: p, m: m, jitterState: uint64(m.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(p.ID+1)*0xbf58476d1ce4e5b9}
+		if m.cfg.CacheLines > 0 {
+			t.cache = newLineCache(m.cfg.CacheLines)
+		}
+		m.threads[p.ID] = t
+		body(t)
+		if t.tx != nil {
+			panic("tsx: thread finished inside a transaction")
+		}
+		t.flushFreeCache()
+	})
+	threads := m.threads
+	m.threads = nil
+	return threads
+}
+
+// RunOne simulates a single thread; a convenience for setup code that
+// populates data structures non-transactionally.
+func (m *Machine) RunOne(body func(t *Thread)) *Thread {
+	return m.Run(1, body)[0]
+}
+
+// Thread is one simulated hardware thread with TSX state. It embeds the
+// scheduler proc, so Clock, Rand and ID are available directly.
+type Thread struct {
+	*sim.Proc
+	m      *Machine
+	tx     *txState
+	txPool *txState
+
+	// jitterState drives the per-step cost noise (seeded per thread).
+	jitterState uint64
+
+	// cache approximates the thread's private cache for cost accounting
+	// (nil unless Config.CacheLines > 0).
+	cache *lineCache
+
+	// freeCache is the thread-local allocator cache (jemalloc-style
+	// tcache, matching the paper's allocator). Without it, a global
+	// LIFO free list hands a node freed by one thread straight to the
+	// next allocating thread, whose zeroing stores then conflict with
+	// every transaction that recently traversed that node — a hot-spot
+	// real multi-threaded allocators avoid.
+	freeCache map[int][]mem.Addr
+
+	// elisionSuppressed makes the next XACQUIRE execute without elision.
+	// Hardware sets this state when an HLE transaction aborts: the
+	// acquiring store is re-issued once, non-transactionally.
+	elisionSuppressed bool
+
+	// Stats accumulates transaction outcomes for this thread.
+	Stats Stats
+}
+
+// Stats counts transaction outcomes on one thread, plus the footprint of
+// committed transactions (read/write set sizes and access counts) for
+// workload characterization.
+type Stats struct {
+	Begun     uint64
+	Committed uint64
+	Aborted   [numCauses]uint64
+
+	// Footprint sums over committed transactions.
+	CommittedReadLines  uint64
+	CommittedWriteLines uint64
+	CommittedAccesses   uint64
+}
+
+// MeanReadLines returns the mean read-set size of committed transactions.
+func (s *Stats) MeanReadLines() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.CommittedReadLines) / float64(s.Committed)
+}
+
+// MeanWriteLines returns the mean write-set size of committed transactions.
+func (s *Stats) MeanWriteLines() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.CommittedWriteLines) / float64(s.Committed)
+}
+
+// MeanAccesses returns the mean access count of committed transactions.
+func (s *Stats) MeanAccesses() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.CommittedAccesses) / float64(s.Committed)
+}
+
+// TotalAborts sums aborts across causes.
+func (s *Stats) TotalAborts() uint64 {
+	var n uint64
+	for _, a := range s.Aborted {
+		n += a
+	}
+	return n
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Begun += other.Begun
+	s.Committed += other.Committed
+	for i := range s.Aborted {
+		s.Aborted[i] += other.Aborted[i]
+	}
+	s.CommittedReadLines += other.CommittedReadLines
+	s.CommittedWriteLines += other.CommittedWriteLines
+	s.CommittedAccesses += other.CommittedAccesses
+}
+
+// Machine returns the machine this thread runs on.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Memory returns the machine's simulated memory.
+func (t *Thread) Memory() *mem.Memory { return t.m.Mem }
+
+// Step advances the thread's virtual clock by cost cycles plus the
+// machine's configured jitter. It shadows sim.Proc.Step so that every
+// engine-charged cost carries microarchitectural noise; without noise,
+// identical loops on different threads phase-lock into artificial
+// conflict-free schedules.
+func (t *Thread) Step(cost uint64) {
+	if j := t.m.cfg.CostJitter; j > 0 && cost > 0 {
+		span := uint64(float64(cost) * j)
+		if span > 0 {
+			// A cheap LCG suffices for noise; math/rand on every
+			// access would dominate the simulator's own runtime.
+			t.jitterState = t.jitterState*6364136223846793005 + 1442695040888963407
+			cost += (t.jitterState >> 33) % (span + 1)
+		}
+	}
+	t.Proc.Step(cost)
+}
+
+// Work advances the thread's clock by n cycles of pure computation.
+func (t *Thread) Work(n uint64) { t.Step(n) }
+
+// drawSpuriousAt samples the access index at which the transaction
+// spuriously aborts: a geometric draw with the machine's configured
+// per-access probability (whose log(1-p) term is cached), or effectively
+// infinity when spurious aborts are disabled.
+func (t *Thread) drawSpuriousAt() int {
+	if t.m.cfg.SpuriousPerAccess <= 0 {
+		return math.MaxInt64 / 2
+	}
+	if t.m.cfg.SpuriousPerAccess >= 1 {
+		return 1
+	}
+	u := t.Rand().Float64()
+	if u <= 0 {
+		u = 1e-300
+	}
+	n := math.Log(u) / t.m.logOneMinusP
+	if n >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(n) + 1
+}
