@@ -83,6 +83,85 @@ func BenchmarkFig5_4_STAMP(b *testing.B) {
 	b.ReportMetric(speedup, "scm-speedup")
 }
 
+// BenchmarkTxReadWrite measures the transactional load/store hot path: one
+// thread reading and writing disjoint lines inside committed transactions.
+// This is the path the line-index hoisting and write-buffer fast checks
+// target.
+func BenchmarkTxReadWrite(b *testing.B) {
+	cfg := tsx.DefaultConfig(1)
+	cfg.Seed = 1
+	m := tsx.NewMachine(cfg)
+	var cells []mem.Addr
+	m.RunOne(func(t *tsx.Thread) {
+		for i := 0; i < 16; i++ {
+			cells = append(cells, t.AllocLines(1))
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunOne(func(t *tsx.Thread) {
+			for j := 0; j < 100; j++ {
+				t.RTM(func() {
+					for _, c := range cells {
+						t.Store(c, t.Load(c)+1)
+					}
+				})
+			}
+		})
+	}
+	b.ReportMetric(float64(b.N*100*16*2)/b.Elapsed().Seconds(), "sim-accesses/s")
+}
+
+// BenchmarkAllocFree measures the simulated allocator: alloc/free cycles
+// across several size classes, exercising the size-class free lists and the
+// thread-local cache.
+func BenchmarkAllocFree(b *testing.B) {
+	cfg := tsx.DefaultConfig(1)
+	cfg.Seed = 1
+	m := tsx.NewMachine(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunOne(func(t *tsx.Thread) {
+			var addrs [64]mem.Addr
+			for j := 0; j < 100; j++ {
+				for k := range addrs {
+					addrs[k] = t.Alloc(1 + k%7)
+				}
+				for k := range addrs {
+					t.Free(addrs[k], 1+k%7)
+				}
+			}
+		})
+	}
+	b.ReportMetric(float64(b.N*100*64)/b.Elapsed().Seconds(), "alloc-free/s")
+}
+
+// BenchmarkHarnessPoint measures one full experiment point through the pool
+// path: clone a populated template, reseed, and run a short measurement.
+func BenchmarkHarnessPoint(b *testing.B) {
+	cfg := tsx.DefaultConfig(4)
+	cfg.Seed = 1
+	tmpl := tsx.NewMachine(cfg)
+	var w harness.Workload
+	tmpl.RunOne(func(t *tsx.Thread) {
+		w = harness.NewRBTree(t, 128, harness.MixModerate)
+		w.Populate(t)
+	})
+	spec := harness.PointSpec{
+		Template: tmpl,
+		Workload: w,
+		Scheme:   harness.SchemeSpec{Scheme: "HLE", Lock: "MCS"},
+		Cfg:      harness.Config{Threads: 4, CycleBudget: 100_000},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = harness.DeriveSeed(1, i)
+		if r := spec.Run(); r.Ops.Ops == 0 {
+			b.Fatal("point completed no operations")
+		}
+	}
+}
+
 // BenchmarkEngineThroughput measures the simulator's raw speed: simulated
 // transactional accesses per second on this host.
 func BenchmarkEngineThroughput(b *testing.B) {

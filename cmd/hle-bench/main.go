@@ -4,36 +4,116 @@
 // Usage:
 //
 //	hle-bench -list
-//	hle-bench -fig 3.1 [-quick] [-threads 8] [-budget 2000000] [-seed 1]
-//	hle-bench -all [-quick]
+//	hle-bench -fig 3.1 [-quick] [-threads 8] [-budget 2000000] [-seed 1] [-parallel 4]
+//	hle-bench -all [-quick] [-timing bench.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"hle/internal/figures"
+	"hle/internal/harness"
+	"hle/internal/stats"
 )
+
+// figTiming is one per-figure record of the -timing report.
+type figTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Points  uint64  `json:"points"`
+}
+
+// timingReport is the -timing output: the run's configuration and the
+// wall-clock cost of each figure generated.
+type timingReport struct {
+	Parallel int         `json:"parallel"`
+	HostCPUs int         `json:"host_cpus"`
+	Threads  int         `json:"threads"`
+	Quick    bool        `json:"quick"`
+	Seed     int64       `json:"seed"`
+	Figures  []figTiming `json:"figures"`
+	Total    float64     `json:"total_seconds"`
+}
 
 func main() {
 	var (
-		figID   = flag.String("fig", "", "figure id to run (see -list)")
-		all     = flag.Bool("all", false, "run every figure")
-		list    = flag.Bool("list", false, "list available figures")
-		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		threads = flag.Int("threads", 8, "simulated hardware threads")
-		budget  = flag.Uint64("budget", 0, "virtual-cycle budget per measurement (0 = default)")
-		seed    = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		figID    = flag.String("fig", "", "figure id to run (see -list)")
+		all      = flag.Bool("all", false, "run every figure")
+		list     = flag.Bool("list", false, "list available figures")
+		quick    = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		threads  = flag.Int("threads", 8, "simulated hardware threads")
+		budget   = flag.Uint64("budget", 0, "virtual-cycle budget per measurement (0 = default)")
+		seed     = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"host workers experiment points fan out across (output is identical for any value)")
+		timing     = flag.String("timing", "", "write per-figure wall-clock/point-count JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hle-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hle-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hle-bench: %v\n", err)
+			}
+		}()
+	}
+
 	opts := figures.Options{
-		Threads: *threads,
-		Budget:  *budget,
-		Quick:   *quick,
-		Seed:    *seed,
+		Threads:  *threads,
+		Budget:   *budget,
+		Quick:    *quick,
+		Seed:     *seed,
+		Parallel: *parallel,
+	}
+
+	report := timingReport{
+		Parallel: *parallel,
+		HostCPUs: runtime.NumCPU(),
+		Threads:  *threads,
+		Quick:    *quick,
+		Seed:     *seed,
+	}
+	// timeFigure runs one generator, records its wall clock and how many
+	// experiment points it executed, and returns its tables.
+	timeFigure := func(f figures.Figure) []*stats.Table {
+		before := harness.PointsRun()
+		start := time.Now()
+		tables := f.Run(opts)
+		report.Figures = append(report.Figures, figTiming{
+			ID:      f.ID,
+			Seconds: time.Since(start).Seconds(),
+			Points:  harness.PointsRun() - before,
+		})
+		return tables
 	}
 
 	switch {
@@ -42,7 +122,10 @@ func main() {
 			fmt.Printf("%-8s %s\n", f.ID, f.Title)
 		}
 	case *all:
-		figures.RunAll(os.Stdout, opts)
+		for _, f := range figures.All() {
+			fmt.Printf("\n### Figure %s — %s\n\n", f.ID, f.Title)
+			printTables(timeFigure(f), *csv)
+		}
 	case *figID != "":
 		f := figures.ByID(*figID)
 		if f == nil {
@@ -50,16 +133,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("### Figure %s — %s\n\n", f.ID, f.Title)
-		for _, tb := range f.Run(opts) {
-			if *csv {
-				tb.FprintCSV(os.Stdout)
-			} else {
-				tb.Fprint(os.Stdout)
-			}
-			fmt.Println()
-		}
+		printTables(timeFigure(*f), *csv)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *timing != "" && len(report.Figures) > 0 {
+		for _, ft := range report.Figures {
+			report.Total += ft.Seconds
+		}
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*timing, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hle-bench: writing timing report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printTables(tables []*stats.Table, csv bool) {
+	for _, tb := range tables {
+		if csv {
+			tb.FprintCSV(os.Stdout)
+		} else {
+			tb.Fprint(os.Stdout)
+		}
+		fmt.Println()
 	}
 }

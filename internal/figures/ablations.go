@@ -24,16 +24,24 @@ func AblationSCMRetries(o Options) []*stats.Table {
 		Title:  "Ablation — HLE-SCM MaxRetries (MCS lock, 128-node tree, 50/50 mix)",
 		Header: []string{"max retries", "throughput", "attempts/op", "non-spec frac"},
 	}
+	var points []harness.PointSpec
 	for _, r := range retriesSweep {
-		m := tsx.NewMachine(machineCfg(o, size))
-		var w harness.Workload
-		var scheme core.Scheme
-		m.RunOne(func(t *tsx.Thread) {
-			w = mkRBTree(t, size, harness.MixExtensive)
-			w.Populate(t)
-			scheme = core.NewHLESCM(locks.NewMCS(t), locks.NewMCS(t), core.SCMConfig{MaxRetries: r})
+		points = append(points, harness.PointSpec{
+			Machine: machineCfg(o, size),
+			MkWorkload: func(t *tsx.Thread) harness.Workload {
+				return mkRBTree(t, size, harness.MixExtensive)
+			},
+			// The retry knob has no SchemeSpec spelling, so build the
+			// scheme directly.
+			MkScheme: func(t *tsx.Thread) core.Scheme {
+				return core.NewHLESCM(locks.NewMCS(t), locks.NewMCS(t), core.SCMConfig{MaxRetries: r})
+			},
+			Cfg: harness.Config{Threads: o.Threads, CycleBudget: o.Budget},
 		})
-		res := harness.Run(m, scheme, w, harness.Config{Threads: o.Threads, CycleBudget: o.Budget})
+	}
+	results := harness.RunPoints(o.Parallel, points)
+	for i, r := range retriesSweep {
+		res := results[i]
 		tb.AddRow(stats.I(r), stats.F2(res.Throughput),
 			stats.F2(res.Ops.AttemptsPerOp()), stats.F3(res.Ops.NonSpecFraction()))
 	}
@@ -56,24 +64,30 @@ func AblationSpurious(o Options) []*stats.Table {
 		Title:  "Ablation — spurious aborts vs avalanche (lookup-only 4K tree, MCS lock)",
 		Header: []string{"rate/access", "HLE non-spec", "HLE tput", "SCM non-spec", "SCM tput"},
 	}
+	schemes := []string{"HLE", "HLE-SCM"}
+	var points []harness.PointSpec
 	for _, rate := range rates {
-		row := []string{stats.E2(rate)}
-		var vals []string
-		for _, scheme := range []string{"HLE", "HLE-SCM"} {
+		for _, scheme := range schemes {
 			cfg := machineCfg(o, size)
 			cfg.SpuriousPerAccess = rate
-			m := tsx.NewMachine(cfg)
-			var w harness.Workload
-			var s core.Scheme
-			m.RunOne(func(t *tsx.Thread) {
-				w = mkRBTree(t, size, harness.MixLookupOnly)
-				w.Populate(t)
-				s = harness.SchemeSpec{Scheme: scheme, Lock: "MCS"}.Build(t)
+			points = append(points, harness.PointSpec{
+				Machine: cfg,
+				MkWorkload: func(t *tsx.Thread) harness.Workload {
+					return mkRBTree(t, size, harness.MixLookupOnly)
+				},
+				Scheme: harness.SchemeSpec{Scheme: scheme, Lock: "MCS"},
+				Cfg:    harness.Config{Threads: o.Threads, CycleBudget: o.Budget},
 			})
-			res := harness.Run(m, s, w, harness.Config{Threads: o.Threads, CycleBudget: o.Budget})
-			vals = append(vals, stats.F3(res.Ops.NonSpecFraction()), stats.F2(res.Throughput))
 		}
-		tb.AddRow(append(row, vals...)...)
+	}
+	results := harness.RunPoints(o.Parallel, points)
+	for ri, rate := range rates {
+		row := []string{stats.E2(rate)}
+		for si := range schemes {
+			res := results[ri*len(schemes)+si]
+			row = append(row, stats.F3(res.Ops.NonSpecFraction()), stats.F2(res.Throughput))
+		}
+		tb.AddRow(row...)
 	}
 	return []*stats.Table{tb}
 }
@@ -88,12 +102,18 @@ func AblationMultiAux(o Options) []*stats.Table {
 		Title:  "Ablation — single-group vs multi-group SCM (independent hot counter pairs)",
 		Header: []string{"scheme", "throughput", "attempts/op", "non-spec frac"},
 	}
-	for _, variant := range []string{"HLE-SCM", "HLE-SCM-multi"} {
+	variants := []string{"HLE-SCM", "HLE-SCM-multi"}
+	type row struct {
+		tput float64
+		res  harness.Result
+	}
+	rows := make([]row, len(variants))
+	harness.ParallelFor(o.Parallel, len(variants), func(vi int) {
 		m := tsx.NewMachine(machineCfg(o, 64))
 		var s core.Scheme
 		var cells []mem.Addr
 		m.RunOne(func(t *tsx.Thread) {
-			s = harness.SchemeSpec{Scheme: variant, Lock: "TTAS"}.Build(t)
+			s = harness.SchemeSpec{Scheme: variants[vi], Lock: "TTAS"}.Build(t)
 			// Independent hot counters, each fought over by a pair
 			// of threads with long critical sections: conflicts
 			// within a pair are frequent but pairs never conflict
@@ -126,9 +146,12 @@ func AblationMultiAux(o Options) []*stats.Table {
 			}
 		}
 		res.Ops = s.TotalStats()
-		tput := float64(res.Ops.Ops) * 1e6 / float64(res.MaxClock)
-		tb.AddRow(variant, stats.F2(tput),
-			stats.F2(res.Ops.AttemptsPerOp()), stats.F3(res.Ops.NonSpecFraction()))
+		rows[vi] = row{float64(res.Ops.Ops) * 1e6 / float64(res.MaxClock), res}
+		harness.NotePoint()
+	})
+	for vi, variant := range variants {
+		tb.AddRow(variant, stats.F2(rows[vi].tput),
+			stats.F2(rows[vi].res.Ops.AttemptsPerOp()), stats.F3(rows[vi].res.Ops.NonSpecFraction()))
 	}
 	return []*stats.Table{tb}
 }
@@ -147,13 +170,21 @@ func AblationBackoff(o Options) []*stats.Table {
 		Title:  "Ablation — backoff damping vs SCM prevention (10/10/80, 8 threads)",
 		Header: []string{"tree size", "HLE TTAS", "HLE Backoff-TTAS", "HLE-SCM TTAS"},
 	}
+	var groups []dsGroup
 	for _, size := range sizes {
-		res := dsRun(o, size, harness.MixModerate, mkRBTree, []harness.SchemeSpec{
-			{Scheme: "Standard", Lock: "TTAS"},
-			{Scheme: "HLE", Lock: "TTAS"},
-			{Scheme: "HLE", Lock: "BackoffTTAS"},
-			{Scheme: "HLE-SCM", Lock: "TTAS"},
-		}, o.Threads)
+		groups = append(groups, dsGroup{
+			size: size, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads,
+			specs: []harness.SchemeSpec{
+				{Scheme: "Standard", Lock: "TTAS"},
+				{Scheme: "HLE", Lock: "TTAS"},
+				{Scheme: "HLE", Lock: "BackoffTTAS"},
+				{Scheme: "HLE-SCM", Lock: "TTAS"},
+			},
+		})
+	}
+	byGroup := dsRunGroups(o, groups)
+	for gi, size := range sizes {
+		res := byGroup[gi]
 		base := res["Standard TTAS"].Throughput
 		tb.AddRow(stats.SizeLabel(size),
 			stats.F2(res["HLE TTAS"].Throughput/base),

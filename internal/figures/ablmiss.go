@@ -1,10 +1,8 @@
 package figures
 
 import (
-	"hle/internal/core"
 	"hle/internal/harness"
 	"hle/internal/stats"
-	"hle/internal/tsx"
 )
 
 // AblationMissModel quantifies the optional per-thread cache-locality cost
@@ -22,24 +20,32 @@ func AblationMissModel(o Options) []*stats.Table {
 		Title:  "Ablation — cache-miss cost model (HLE vs HLE-SCM on MCS, 10/10/80)",
 		Header: []string{"tree size", "flat HLE tput", "flat SCM/HLE", "miss HLE tput", "miss SCM/HLE"},
 	}
+	cacheVariants := []int{0, 512}
+	var groups []dsGroup
 	for _, size := range sizes {
-		row := []string{stats.SizeLabel(size)}
-		for _, cacheLines := range []int{0, 512} {
+		for _, cacheLines := range cacheVariants {
 			cfg := machineCfg(o, size)
 			cfg.CacheLines = cacheLines
-			m := tsx.NewMachine(cfg)
-			var w harness.Workload
-			m.RunOne(func(t *tsx.Thread) {
-				w = mkRBTree(t, size, harness.MixModerate)
-				w.Populate(t)
+			groups = append(groups, dsGroup{
+				size: size, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads,
+				specs: []harness.SchemeSpec{
+					{Scheme: "HLE", Lock: "MCS"},
+					{Scheme: "HLE-SCM", Lock: "MCS"},
+				},
+				mcfg: &cfg,
+				rcfg: &harness.Config{Threads: o.Threads, CycleBudget: o.Budget},
+				runs: 1,
 			})
-			run := func(spec harness.SchemeSpec) harness.Result {
-				var s core.Scheme
-				m.RunOne(func(t *tsx.Thread) { s = spec.Build(t) })
-				return harness.Run(m, s, w, harness.Config{Threads: o.Threads, CycleBudget: o.Budget})
-			}
-			hle := run(harness.SchemeSpec{Scheme: "HLE", Lock: "MCS"})
-			scm := run(harness.SchemeSpec{Scheme: "HLE-SCM", Lock: "MCS"})
+		}
+	}
+	byGroup := dsRunGroups(o, groups)
+	gi := 0
+	for _, size := range sizes {
+		row := []string{stats.SizeLabel(size)}
+		for range cacheVariants {
+			res := byGroup[gi]
+			gi++
+			hle, scm := res["HLE MCS"], res["HLE-SCM MCS"]
 			row = append(row, stats.F2(hle.Throughput), stats.F2(scm.Throughput/hle.Throughput))
 		}
 		tb.AddRow(row...)

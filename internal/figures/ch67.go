@@ -5,7 +5,6 @@ import (
 
 	"hle/internal/harness"
 	"hle/internal/stats"
-	"hle/internal/tsx"
 )
 
 // FigCh6 demonstrates Chapter 6: the HLE-adjusted ticket and CLH locks are
@@ -15,6 +14,28 @@ import (
 func FigCh6(o Options) []*stats.Table {
 	o = o.withDefaults()
 	locksUnderTest := []string{"MCS", "AdjTicket", "AdjCLH", "Ticket", "CLH"}
+	sizes := treeSizes(o)
+	if !o.Quick {
+		sizes = []int{8, 128, 2048, 32768}
+	}
+	// One group per size carrying the full (lock × scheme) matrix: a single
+	// populate per size serves both schemes' tables.
+	var groups []dsGroup
+	for _, size := range sizes {
+		var specs []harness.SchemeSpec
+		for _, l := range locksUnderTest {
+			specs = append(specs,
+				harness.SchemeSpec{Scheme: "Standard", Lock: l},
+				harness.SchemeSpec{Scheme: "HLE", Lock: l},
+				harness.SchemeSpec{Scheme: "HLE-SCM", Lock: l})
+		}
+		groups = append(groups, dsGroup{
+			size: size, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads,
+			specs: specs,
+		})
+	}
+	byGroup := dsRunGroups(o, groups)
+
 	var tables []*stats.Table
 	for _, scheme := range []string{"HLE", "HLE-SCM"} {
 		tb := &stats.Table{
@@ -26,18 +47,8 @@ func FigCh6(o Options) []*stats.Table {
 			Title:  fmt.Sprintf("Ch 6 — non-speculative fraction under %s", scheme),
 			Header: []string{"tree size", "MCS", "AdjTicket", "AdjCLH", "Ticket", "CLH"},
 		}
-		sizes := treeSizes(o)
-		if !o.Quick {
-			sizes = []int{8, 128, 2048, 32768}
-		}
-		for _, size := range sizes {
-			var specs []harness.SchemeSpec
-			for _, l := range locksUnderTest {
-				specs = append(specs,
-					harness.SchemeSpec{Scheme: "Standard", Lock: l},
-					harness.SchemeSpec{Scheme: scheme, Lock: l})
-			}
-			res := dsRun(o, size, harness.MixModerate, mkRBTree, specs, o.Threads)
+		for gi, size := range sizes {
+			res := byGroup[gi]
 			speedRow := []string{stats.SizeLabel(size)}
 			fracRow := []string{stats.SizeLabel(size)}
 			for _, l := range locksUnderTest {
@@ -59,25 +70,51 @@ func FigCh6(o Options) []*stats.Table {
 // extension must close most of the avalanche gap in hardware alone.
 func FigCh7(o Options) []*stats.Table {
 	o = o.withDefaults()
+	locks := []string{"TTAS", "MCS"}
+	sizes := treeSizes(o)
+	if !o.Quick {
+		sizes = []int{8, 128, 2048, 32768}
+	}
+	// Two groups per (lock, size): the baseline schemes on a standard
+	// machine, and HLE-HWExt on a machine with the extension enabled (the
+	// extension is a hardware property, so it needs its own configuration;
+	// as before it runs without warmup, once).
+	var groups []dsGroup
+	for _, lock := range locks {
+		for _, size := range sizes {
+			groups = append(groups, dsGroup{
+				size: size, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads,
+				specs: []harness.SchemeSpec{
+					{Scheme: "Standard", Lock: lock},
+					{Scheme: "HLE", Lock: lock},
+					{Scheme: "HLE-SCM", Lock: lock},
+				},
+			})
+			extCfg := machineCfg(o, size)
+			extCfg.HWExt = true
+			groups = append(groups, dsGroup{
+				size: size, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads,
+				specs: []harness.SchemeSpec{{Scheme: "HLE-HWExt", Lock: lock}},
+				mcfg:  &extCfg,
+				rcfg:  &harness.Config{Threads: o.Threads, CycleBudget: o.Budget},
+				runs:  1,
+			})
+		}
+	}
+	byGroup := dsRunGroups(o, groups)
+
 	var tables []*stats.Table
-	for _, lock := range []string{"TTAS", "MCS"} {
+	gi := 0
+	for _, lock := range locks {
 		tb := &stats.Table{
 			Title: fmt.Sprintf("Ch 7 — HLE vs HLE+extension vs HLE-SCM, speedup over standard %s lock, 10/10/80, %d threads",
 				lock, o.Threads),
 			Header: []string{"tree size", "HLE", "HLE-HWExt", "HLE-SCM", "HWExt non-spec", "HLE non-spec"},
 		}
-		sizes := treeSizes(o)
-		if !o.Quick {
-			sizes = []int{8, 128, 2048, 32768}
-		}
 		for _, size := range sizes {
-			// The extension needs its own machine configuration.
-			base := dsRun(o, size, harness.MixModerate, mkRBTree, []harness.SchemeSpec{
-				{Scheme: "Standard", Lock: lock},
-				{Scheme: "HLE", Lock: lock},
-				{Scheme: "HLE-SCM", Lock: lock},
-			}, o.Threads)
-			ext := dsRunHWExt(o, size, harness.MixModerate, lock)
+			base := byGroup[gi]
+			ext := byGroup[gi+1]["HLE-HWExt "+lock]
+			gi += 2
 			std := base["Standard "+lock].Throughput
 			tb.AddRow(stats.SizeLabel(size),
 				stats.F2(base["HLE "+lock].Throughput/std),
@@ -89,14 +126,4 @@ func FigCh7(o Options) []*stats.Table {
 		tables = append(tables, tb)
 	}
 	return tables
-}
-
-// dsRunHWExt runs the HLE scheme on a machine with the Chapter 7 extension
-// enabled.
-func dsRunHWExt(o Options, size int, mix harness.Mix, lock string) harness.Result {
-	cfg := machineCfg(o, size)
-	cfg.HWExt = true
-	return harness.Point(cfg, harness.SchemeSpec{Scheme: "HLE-HWExt", Lock: lock},
-		func(t *tsx.Thread) harness.Workload { return harness.NewRBTree(t, size, mix) },
-		harness.Config{Threads: o.Threads, CycleBudget: o.Budget})
 }

@@ -21,22 +21,36 @@ func ExtScaling(o Options) []*stats.Table {
 	if o.Quick {
 		counts = []int{1, 8, 32}
 	}
-	base := dsRun(o, size, harness.MixModerate, mkRBTree,
-		[]harness.SchemeSpec{{Scheme: "NoLock"}}, 1)["NoLock"].Throughput
+	// Group 0 is the one-thread no-locking baseline; each thread count then
+	// gets its own group with a machine sized for that many procs.
+	groups := []dsGroup{{
+		size: size, mix: harness.MixModerate, mk: mkRBTree, threads: 1,
+		specs: []harness.SchemeSpec{{Scheme: "NoLock"}},
+	}}
+	for _, n := range counts {
+		oN := o
+		oN.Threads = n
+		cfg := machineCfg(oN, size)
+		groups = append(groups, dsGroup{
+			size: size, mix: harness.MixModerate, mk: mkRBTree, threads: n,
+			specs: []harness.SchemeSpec{
+				{Scheme: "Standard", Lock: "MCS"},
+				{Scheme: "HLE", Lock: "MCS"},
+				{Scheme: "HLE-SCM", Lock: "MCS"},
+				{Scheme: "Opt-SLR-SCM", Lock: "MCS"},
+			},
+			mcfg: &cfg,
+		})
+	}
+	byGroup := dsRunGroups(o, groups)
+	base := byGroup[0]["NoLock"].Throughput
 
 	tb := &stats.Table{
 		Title:  "Extension — scaling beyond the paper's 8 threads (128-node tree, 10/10/80, MCS lock)",
 		Header: []string{"threads", "Standard", "HLE", "HLE-SCM", "Opt-SLR-SCM"},
 	}
-	for _, n := range counts {
-		oN := o
-		oN.Threads = n
-		res := dsRun(oN, size, harness.MixModerate, mkRBTree, []harness.SchemeSpec{
-			{Scheme: "Standard", Lock: "MCS"},
-			{Scheme: "HLE", Lock: "MCS"},
-			{Scheme: "HLE-SCM", Lock: "MCS"},
-			{Scheme: "Opt-SLR-SCM", Lock: "MCS"},
-		}, n)
+	for ni, n := range counts {
+		res := byGroup[ni+1]
 		tb.AddRow(stats.I(n),
 			stats.F2(res["Standard MCS"].Throughput/base),
 			stats.F2(res["HLE MCS"].Throughput/base),
@@ -59,8 +73,13 @@ func ExtCSLength(o Options) []*stats.Table {
 		Title:  "Extension — critical-section length sensitivity (128-node tree, 10/10/80, MCS lock)",
 		Header: []string{"extra work/op", "HLE non-spec", "SCM non-spec", "SCM/HLE speedup"},
 	}
+	var groups []dsGroup
 	for _, extra := range lengths {
-		res := dsRunExtraWork(o, extra)
+		groups = append(groups, extraWorkGroup(o, extra))
+	}
+	byGroup := dsRunGroups(o, groups)
+	for gi, extra := range lengths {
+		res := byGroup[gi]
 		tb.AddRow(stats.U(extra),
 			stats.F3(res["HLE MCS"].Ops.NonSpecFraction()),
 			stats.F3(res["HLE-SCM MCS"].Ops.NonSpecFraction()),
@@ -85,27 +104,30 @@ func (w *paddedWorkload) Name() string {
 func (w *paddedWorkload) Populate(t *tsxThread) { w.inner.Populate(t) }
 
 // NextOp implements harness.Workload.
-func (w *paddedWorkload) NextOp(t *tsxThread) func() {
-	cs := w.inner.NextOp(t)
-	if w.extra == 0 {
-		return cs
-	}
-	extra := w.extra
-	return func() {
-		cs()
-		t.Work(extra)
+func (w *paddedWorkload) NextOp(t *tsxThread) harness.Op {
+	return w.inner.NextOp(t)
+}
+
+// Exec implements harness.Workload: the inner op plus the padding work.
+func (w *paddedWorkload) Exec(t *tsxThread, op harness.Op) {
+	w.inner.Exec(t, op)
+	if w.extra != 0 {
+		t.Work(w.extra)
 	}
 }
 
-// dsRunExtraWork measures HLE and HLE-SCM over the padded workload.
-func dsRunExtraWork(o Options, extra uint64) map[string]harness.Result {
+// extraWorkGroup declares the HLE-vs-HLE-SCM comparison over the padded
+// workload with the given per-op padding.
+func extraWorkGroup(o Options, extra uint64) dsGroup {
 	const size = 128
-	return dsRun(o, size, harness.MixModerate,
-		func(t *tsxThread, sz int, mix harness.Mix) harness.Workload {
+	return dsGroup{
+		size: size, mix: harness.MixModerate, threads: o.Threads,
+		mk: func(t *tsxThread, sz int, mix harness.Mix) harness.Workload {
 			return &paddedWorkload{inner: harness.NewRBTree(t, sz, mix), extra: extra}
 		},
-		[]harness.SchemeSpec{
+		specs: []harness.SchemeSpec{
 			{Scheme: "HLE", Lock: "MCS"},
 			{Scheme: "HLE-SCM", Lock: "MCS"},
-		}, o.Threads)
+		},
+	}
 }

@@ -35,29 +35,34 @@ func ExtStamp(o Options) []*stats.Table {
 		{"yada", func(t *tsx.Thread) stamp.App { return stamp.NewYada(90) }},
 		{"bayes", func(t *tsx.Thread) stamp.App { return stamp.NewBayes(48, 96) }},
 	}
-	for _, app := range apps {
+	specs := []harness.SchemeSpec{
+		{Scheme: "Standard", Lock: "TTAS"},
+		{Scheme: "HLE", Lock: "TTAS"},
+		{Scheme: "HLE-SCM", Lock: "TTAS"},
+		{Scheme: "Opt-SLR", Lock: "TTAS"},
+	}
+	results := make([]stamp.Result, len(apps)*len(specs))
+	harness.ParallelFor(o.Parallel, len(results), func(i int) {
+		app, spec := apps[i/len(specs)], specs[i%len(specs)]
+		cfg := tsx.DefaultConfig(o.Threads)
+		cfg.Seed = o.Seed
+		cfg.MemWords = 1 << 19
+		res, err := stamp.Run(cfg, spec, app.Make, o.Threads)
+		if err != nil {
+			panic(fmt.Sprintf("figures: %s under %v: %v", app.Name, spec, err))
+		}
+		results[i] = res
+		harness.NotePoint()
+	})
+	for ai, app := range apps {
 		tb := &stats.Table{
 			Title: fmt.Sprintf("Extension — STAMP %s, %d threads",
 				app.Name, o.Threads),
 			Header: []string{"scheme", "norm runtime", "attempts/op", "non-spec", "capacity aborts"},
 		}
-		var base float64
-		for _, spec := range []harness.SchemeSpec{
-			{Scheme: "Standard", Lock: "TTAS"},
-			{Scheme: "HLE", Lock: "TTAS"},
-			{Scheme: "HLE-SCM", Lock: "TTAS"},
-			{Scheme: "Opt-SLR", Lock: "TTAS"},
-		} {
-			cfg := tsx.DefaultConfig(o.Threads)
-			cfg.Seed = o.Seed
-			cfg.MemWords = 1 << 19
-			res, err := stamp.Run(cfg, spec, app.Make, o.Threads)
-			if err != nil {
-				panic(fmt.Sprintf("figures: %s under %v: %v", app.Name, spec, err))
-			}
-			if spec.Scheme == "Standard" {
-				base = float64(res.Runtime)
-			}
+		base := float64(results[ai*len(specs)].Runtime) // Standard is spec 0
+		for si, spec := range specs {
+			res := results[ai*len(specs)+si]
 			tb.AddRow(spec.Scheme,
 				stats.F2(float64(res.Runtime)/base),
 				stats.F2(res.Ops.AttemptsPerOp()),

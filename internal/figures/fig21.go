@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"hle/internal/harness"
 	"hle/internal/mem"
 	"hle/internal/stats"
 	"hle/internal/tsx"
@@ -26,8 +27,11 @@ func Fig21(o Options) []*stats.Table {
 		Title:  "Fig 2.1 — sporadic speculative failures, 1 thread, no contention",
 		Header: []string{"set size", "read fail frac", "write fail frac"},
 	}
-	for _, bytes := range sizesBytes {
-		lines := bytes / 64
+	// Flatten to one point per (size, read|write) and fan out; each point
+	// builds its own single-thread machine, so results are order-free.
+	fails := make([]float64, 2*len(sizesBytes))
+	harness.ParallelFor(o.Parallel, len(fails), func(i int) {
+		lines := sizesBytes[i/2] / 64
 		if lines == 0 {
 			lines = 1
 		}
@@ -44,9 +48,11 @@ func Fig21(o Options) []*stats.Table {
 				r = 30
 			}
 		}
-		readFail := setScan(o, lines, r, false)
-		writeFail := setScan(o, lines, r, true)
-		table.AddRow(stats.SizeLabel(bytes), stats.E2(readFail), stats.E2(writeFail))
+		fails[i] = setScan(o, lines, r, i%2 == 1)
+		harness.NotePoint()
+	})
+	for si, bytes := range sizesBytes {
+		table.AddRow(stats.SizeLabel(bytes), stats.E2(fails[2*si]), stats.E2(fails[2*si+1]))
 	}
 	return []*stats.Table{table}
 }

@@ -3,7 +3,6 @@ package figures
 import (
 	"fmt"
 
-	"hle/internal/core"
 	"hle/internal/harness"
 	"hle/internal/stats"
 	"hle/internal/tsx"
@@ -29,13 +28,21 @@ func Fig31(o Options) []*stats.Table {
 		Title:  "Fig 3.1 (bottom) — fraction of operations completing non-speculatively",
 		Header: []string{"tree size", "TTAS non-spec", "MCS non-spec"},
 	}
+	var groups []dsGroup
 	for _, size := range treeSizes(o) {
-		res := dsRun(o, size, harness.MixModerate, mkRBTree, []harness.SchemeSpec{
-			{Scheme: "Standard", Lock: "TTAS"},
-			{Scheme: "HLE", Lock: "TTAS"},
-			{Scheme: "Standard", Lock: "MCS"},
-			{Scheme: "HLE", Lock: "MCS"},
-		}, o.Threads)
+		groups = append(groups, dsGroup{
+			size: size, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads,
+			specs: []harness.SchemeSpec{
+				{Scheme: "Standard", Lock: "TTAS"},
+				{Scheme: "HLE", Lock: "TTAS"},
+				{Scheme: "Standard", Lock: "MCS"},
+				{Scheme: "HLE", Lock: "MCS"},
+			},
+		})
+	}
+	byGroup := dsRunGroups(o, groups)
+	for gi, size := range treeSizes(o) {
+		res := byGroup[gi]
 		ttas := res["HLE TTAS"]
 		mcs := res["HLE MCS"]
 		speed.AddRow(stats.SizeLabel(size),
@@ -62,21 +69,27 @@ func Fig33(o Options) []*stats.Table {
 	budget := o.Budget * 2
 	slot := budget / 50
 
+	locks := []string{"MCS", "TTAS"}
+	var points []harness.PointSpec
+	for _, lock := range locks {
+		points = append(points, harness.PointSpec{
+			Machine: machineCfg(o, size),
+			MkWorkload: func(t *tsx.Thread) harness.Workload {
+				return mkRBTree(t, size, harness.MixModerate)
+			},
+			Scheme: harness.SchemeSpec{Scheme: "HLE", Lock: lock},
+			Cfg: harness.Config{
+				Threads:     o.Threads,
+				CycleBudget: budget,
+				SliceCycles: slot,
+			},
+		})
+	}
+	results := harness.RunPoints(o.Parallel, points)
+
 	var tables []*stats.Table
-	for _, lock := range []string{"MCS", "TTAS"} {
-		m := tsx.NewMachine(machineCfg(o, size))
-		var w harness.Workload
-		var scheme core.Scheme
-		m.RunOne(func(t *tsx.Thread) {
-			w = mkRBTree(t, size, harness.MixModerate)
-			w.Populate(t)
-			scheme = harness.SchemeSpec{Scheme: "HLE", Lock: lock}.Build(t)
-		})
-		res := harness.Run(m, scheme, w, harness.Config{
-			Threads:     o.Threads,
-			CycleBudget: budget,
-			SliceCycles: slot,
-		})
+	for li, lock := range locks {
+		res := results[li]
 		norm := res.Timeline.NormalizedOps()
 		fracs := res.Timeline.NonSpecFractions()
 		// The final slot is partial (threads stop mid-slot at the
@@ -104,19 +117,33 @@ func Fig33(o Options) []*stats.Table {
 // 50/50) across tree sizes, for TTAS and MCS.
 func Fig34(o Options) []*stats.Table {
 	o = o.withDefaults()
+	mixes := []harness.Mix{harness.MixLookupOnly, harness.MixModerate, harness.MixExtensive}
+	var groups []dsGroup
+	for _, mix := range mixes {
+		for _, size := range treeSizes(o) {
+			groups = append(groups, dsGroup{
+				size: size, mix: mix, mk: mkRBTree, threads: o.Threads,
+				specs: []harness.SchemeSpec{
+					{Scheme: "Standard", Lock: "TTAS"},
+					{Scheme: "HLE", Lock: "TTAS"},
+					{Scheme: "Standard", Lock: "MCS"},
+					{Scheme: "HLE", Lock: "MCS"},
+				},
+			})
+		}
+	}
+	byGroup := dsRunGroups(o, groups)
+
 	var tables []*stats.Table
-	for _, mix := range []harness.Mix{harness.MixLookupOnly, harness.MixModerate, harness.MixExtensive} {
+	gi := 0
+	for _, mix := range mixes {
 		tb := &stats.Table{
 			Title:  fmt.Sprintf("Fig 3.4 — HLE speedup vs standard lock, mix %s, %d threads", mix, o.Threads),
 			Header: []string{"tree size", "TTAS", "MCS"},
 		}
 		for _, size := range treeSizes(o) {
-			res := dsRun(o, size, mix, mkRBTree, []harness.SchemeSpec{
-				{Scheme: "Standard", Lock: "TTAS"},
-				{Scheme: "HLE", Lock: "TTAS"},
-				{Scheme: "Standard", Lock: "MCS"},
-				{Scheme: "HLE", Lock: "MCS"},
-			}, o.Threads)
+			res := byGroup[gi]
+			gi++
 			tb.AddRow(stats.SizeLabel(size),
 				stats.F2(res["HLE TTAS"].Throughput/res["Standard TTAS"].Throughput),
 				stats.F2(res["HLE MCS"].Throughput/res["Standard MCS"].Throughput))
@@ -132,22 +159,36 @@ func Fig34(o Options) []*stats.Table {
 // what justified the paper's measurement methodology.
 func Fig35(o Options) []*stats.Table {
 	o = o.withDefaults()
+	mixes := []harness.Mix{harness.MixLookupOnly, harness.MixModerate, harness.MixExtensive}
+	var groups []dsGroup
+	for _, mix := range mixes {
+		for _, size := range treeSizes(o) {
+			groups = append(groups, dsGroup{
+				size: size, mix: mix, mk: mkRBTree, threads: o.Threads,
+				specs: []harness.SchemeSpec{
+					{Scheme: "Standard", Lock: "TTAS"},
+					{Scheme: "HLE", Lock: "TTAS"},
+					{Scheme: "RTM-LE", Lock: "TTAS"},
+					{Scheme: "Standard", Lock: "MCS"},
+					{Scheme: "HLE", Lock: "MCS"},
+					{Scheme: "RTM-LE", Lock: "MCS"},
+				},
+			})
+		}
+	}
+	byGroup := dsRunGroups(o, groups)
+
 	var tables []*stats.Table
-	for _, mix := range []harness.Mix{harness.MixLookupOnly, harness.MixModerate, harness.MixExtensive} {
+	gi := 0
+	for _, mix := range mixes {
 		tb := &stats.Table{
 			Title: fmt.Sprintf("Fig 3.5 — HLE-based vs RTM-based elision, mix %s, %d threads",
 				mix, o.Threads),
 			Header: []string{"tree size", "HLE TTAS", "RTM TTAS", "HLE MCS", "RTM MCS"},
 		}
 		for _, size := range treeSizes(o) {
-			res := dsRun(o, size, mix, mkRBTree, []harness.SchemeSpec{
-				{Scheme: "Standard", Lock: "TTAS"},
-				{Scheme: "HLE", Lock: "TTAS"},
-				{Scheme: "RTM-LE", Lock: "TTAS"},
-				{Scheme: "Standard", Lock: "MCS"},
-				{Scheme: "HLE", Lock: "MCS"},
-				{Scheme: "RTM-LE", Lock: "MCS"},
-			}, o.Threads)
+			res := byGroup[gi]
+			gi++
 			tb.AddRow(stats.SizeLabel(size),
 				stats.F2(res["HLE TTAS"].Throughput/res["Standard TTAS"].Throughput),
 				stats.F2(res["RTM-LE TTAS"].Throughput/res["Standard TTAS"].Throughput),

@@ -27,8 +27,47 @@ func stampSchemes(lock string) []harness.SchemeSpec {
 // fraction (panes c and d).
 func Fig54(o Options) []*stats.Table {
 	o = o.withDefaults()
+	locks := []string{"TTAS", "MCS"}
+	apps := stamp.Apps()
+
+	// Flatten (lock × app × scheme) into independent points: stamp.Run
+	// builds a fresh machine per call, so each point is self-contained.
+	type stampPoint struct {
+		lock, app int
+		spec      harness.SchemeSpec
+	}
+	var pts []stampPoint
+	for li := range locks {
+		for ai := range apps {
+			for _, spec := range stampSchemes(locks[li]) {
+				pts = append(pts, stampPoint{li, ai, spec})
+			}
+		}
+	}
+	results := make([]stamp.Result, len(pts))
+	harness.ParallelFor(o.Parallel, len(pts), func(i int) {
+		p := pts[i]
+		cfg := tsx.DefaultConfig(o.Threads)
+		cfg.Seed = o.Seed
+		cfg.MemWords = 1 << 19
+		res, err := stamp.Run(cfg, p.spec, apps[p.app].Make, o.Threads)
+		if err != nil {
+			panic(fmt.Sprintf("figures: %s under %v failed validation: %v", apps[p.app].Name, p.spec, err))
+		}
+		results[i] = res
+		harness.NotePoint()
+	})
+	byKey := map[[2]int]map[string]stamp.Result{}
+	for i, p := range pts {
+		key := [2]int{p.lock, p.app}
+		if byKey[key] == nil {
+			byKey[key] = map[string]stamp.Result{}
+		}
+		byKey[key][p.spec.Scheme] = results[i]
+	}
+
 	var tables []*stats.Table
-	for _, lock := range []string{"TTAS", "MCS"} {
+	for li, lock := range locks {
 		timeTb := &stats.Table{
 			Title: fmt.Sprintf("Fig 5.4(a/b) — STAMP runtime normalized to the standard %s lock, %d threads",
 				lock, o.Threads),
@@ -42,18 +81,8 @@ func Fig54(o Options) []*stats.Table {
 			Title:  fmt.Sprintf("Fig 5.4(c/d) — STAMP non-speculative fraction, %s lock", lock),
 			Header: []string{"test", "HLE", "HLE-SCM", "Pes-SLR", "Opt-SLR", "Opt-SLR-SCM"},
 		}
-		for _, app := range stamp.Apps() {
-			results := map[string]stamp.Result{}
-			for _, spec := range stampSchemes(lock) {
-				cfg := tsx.DefaultConfig(o.Threads)
-				cfg.Seed = o.Seed
-				cfg.MemWords = 1 << 19
-				res, err := stamp.Run(cfg, spec, app.Make, o.Threads)
-				if err != nil {
-					panic(fmt.Sprintf("figures: %s under %v failed validation: %v", app.Name, spec, err))
-				}
-				results[spec.Scheme] = res
-			}
+		for ai, app := range apps {
+			results := byKey[[2]int{li, ai}]
 			base := float64(results["Standard"].Runtime)
 			timeTb.AddRow(app.Name,
 				stats.F2(float64(results["HLE"].Runtime)/base),

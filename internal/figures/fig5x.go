@@ -30,19 +30,35 @@ func Fig51(o Options) []*stats.Table {
 		threadCounts = []int{1, 4, 8}
 	}
 
-	// The normalization baseline: one thread, no locking at all.
-	base := dsRun(o, size, harness.MixModerate, mkRBTree,
-		[]harness.SchemeSpec{{Scheme: "NoLock"}}, 1)["NoLock"].Throughput
+	// Group 0 is the normalization baseline — one thread, no locking —
+	// then one group per (lock, thread count).
+	locks := []string{"TTAS", "MCS"}
+	groups := []dsGroup{{
+		size: size, mix: harness.MixModerate, mk: mkRBTree, threads: 1,
+		specs: []harness.SchemeSpec{{Scheme: "NoLock"}},
+	}}
+	for _, lock := range locks {
+		for _, n := range threadCounts {
+			groups = append(groups, dsGroup{
+				size: size, mix: harness.MixModerate, mk: mkRBTree, threads: n,
+				specs: schemeSet51(lock),
+			})
+		}
+	}
+	byGroup := dsRunGroups(o, groups)
+	base := byGroup[0]["NoLock"].Throughput
 
 	var tables []*stats.Table
-	for _, lock := range []string{"TTAS", "MCS"} {
+	gi := 1
+	for _, lock := range locks {
 		tb := &stats.Table{
 			Title: fmt.Sprintf("Fig 5.1 — speedup vs 1-thread no-locking baseline, %s lock, 128-node tree, 10/10/80",
 				lock),
 			Header: []string{"threads", "Standard", "HLE", "HLE-SCM", "Opt-SLR", "Opt-SLR-SCM"},
 		}
 		for _, n := range threadCounts {
-			res := dsRun(o, size, harness.MixModerate, mkRBTree, schemeSet51(lock), n)
+			res := byGroup[gi]
+			gi++
 			tb.AddRow(stats.I(n),
 				stats.F2(res["Standard "+lock].Throughput/base),
 				stats.F2(res["HLE "+lock].Throughput/base),
@@ -71,16 +87,32 @@ func schemeSet52(lock string) []harness.SchemeSpec {
 // three contention levels.
 func Fig52(o Options) []*stats.Table {
 	o = o.withDefaults()
+	// One group per (mix, size) carrying both locks' schemes: the populated
+	// tree is lock-agnostic, so sharing the group halves the populate work.
+	mixes := []harness.Mix{harness.MixLookupOnly, harness.MixModerate, harness.MixExtensive}
+	var groups []dsGroup
+	for _, mix := range mixes {
+		for _, size := range treeSizes(o) {
+			groups = append(groups, dsGroup{
+				size: size, mix: mix, mk: mkRBTree, threads: o.Threads,
+				specs: append(schemeSet52("TTAS"), schemeSet52("MCS")...),
+			})
+		}
+	}
+	byGroup := dsRunGroups(o, groups)
+
 	var tables []*stats.Table
 	for _, lock := range []string{"TTAS", "MCS"} {
-		for _, mix := range []harness.Mix{harness.MixLookupOnly, harness.MixModerate, harness.MixExtensive} {
+		gi := 0
+		for _, mix := range mixes {
 			tb := &stats.Table{
 				Title: fmt.Sprintf("Fig 5.2 — speedup vs plain HLE baseline, %s lock, mix %s, %d threads",
 					lock, mix, o.Threads),
 				Header: []string{"tree size", "HLE-SCM", "Pes-SLR", "Opt-SLR", "Opt-SLR-SCM"},
 			}
 			for _, size := range treeSizes(o) {
-				res := dsRun(o, size, mix, mkRBTree, schemeSet52(lock), o.Threads)
+				res := byGroup[gi]
+				gi++
 				base := res["HLE "+lock].Throughput
 				tb.AddRow(stats.SizeLabel(size),
 					stats.F2(res["HLE-SCM "+lock].Throughput/base),
@@ -108,14 +140,22 @@ func Fig53(o Options) []*stats.Table {
 		Title:  "Fig 5.3 (right) — software-assisted TTAS schemes, 50/50 mix, 8 threads",
 		Header: []string{"tree size", "HLE-SCM att", "Opt-SLR att", "SLR-SCM att", "HLE-SCM ns", "Opt-SLR ns", "SLR-SCM ns"},
 	}
+	var groups []dsGroup
 	for _, size := range treeSizes(o) {
-		res := dsRun(o, size, harness.MixExtensive, mkRBTree, []harness.SchemeSpec{
-			{Scheme: "HLE", Lock: "MCS"},
-			{Scheme: "HLE-SCM", Lock: "MCS"},
-			{Scheme: "HLE-SCM", Lock: "TTAS"},
-			{Scheme: "Opt-SLR", Lock: "TTAS"},
-			{Scheme: "Opt-SLR-SCM", Lock: "TTAS"},
-		}, o.Threads)
+		groups = append(groups, dsGroup{
+			size: size, mix: harness.MixExtensive, mk: mkRBTree, threads: o.Threads,
+			specs: []harness.SchemeSpec{
+				{Scheme: "HLE", Lock: "MCS"},
+				{Scheme: "HLE-SCM", Lock: "MCS"},
+				{Scheme: "HLE-SCM", Lock: "TTAS"},
+				{Scheme: "Opt-SLR", Lock: "TTAS"},
+				{Scheme: "Opt-SLR-SCM", Lock: "TTAS"},
+			},
+		})
+	}
+	byGroup := dsRunGroups(o, groups)
+	for gi, size := range treeSizes(o) {
+		res := byGroup[gi]
 		left.AddRow(stats.SizeLabel(size),
 			stats.F2(res["HLE-SCM MCS"].Ops.AttemptsPerOp()),
 			stats.F2(res["HLE MCS"].Ops.AttemptsPerOp()),
@@ -140,6 +180,15 @@ func FigHashTable(o Options) []*stats.Table {
 	if o.Quick {
 		sizes = []int{64, 1024}
 	}
+	var groups []dsGroup
+	for _, size := range sizes {
+		groups = append(groups, dsGroup{
+			size: size, mix: harness.MixModerate, mk: mkHashTable, threads: o.Threads,
+			specs: append(schemeSet52("TTAS"), schemeSet52("MCS")...),
+		})
+	}
+	byGroup := dsRunGroups(o, groups)
+
 	var tables []*stats.Table
 	for _, lock := range []string{"TTAS", "MCS"} {
 		tb := &stats.Table{
@@ -147,8 +196,8 @@ func FigHashTable(o Options) []*stats.Table {
 				lock, o.Threads),
 			Header: []string{"table size", "HLE-SCM", "Pes-SLR", "Opt-SLR", "Opt-SLR-SCM"},
 		}
-		for _, size := range sizes {
-			res := dsRun(o, size, harness.MixModerate, mkHashTable, schemeSet52(lock), o.Threads)
+		for gi, size := range sizes {
+			res := byGroup[gi]
 			base := res["HLE "+lock].Throughput
 			tb.AddRow(stats.SizeLabel(size),
 				stats.F2(res["HLE-SCM "+lock].Throughput/base),

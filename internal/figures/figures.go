@@ -10,8 +10,8 @@ package figures
 import (
 	"fmt"
 	"io"
+	"runtime"
 
-	"hle/internal/core"
 	"hle/internal/harness"
 	"hle/internal/stats"
 	"hle/internal/tsx"
@@ -31,11 +31,20 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Parallel is the number of host workers experiment points fan out
+	// across (default GOMAXPROCS). Results are independent of this value:
+	// every point runs on its own (cloned or fresh) machine with a seed
+	// derived from its declared coordinates, and output is assembled in
+	// declaration order.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Threads == 0 {
 		o.Threads = 8
+	}
+	if o.Parallel == 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
 	}
 	if o.Budget == 0 {
 		o.Budget = 1_500_000
@@ -133,47 +142,83 @@ func machineCfg(o Options, elems int) tsx.Config {
 	return cfg
 }
 
-// dsRun populates one data-structure workload and measures every scheme on
-// it, reusing the populated machine across schemes (population dominates
-// cost for large sizes; the workload's equal insert/delete rates keep the
-// structure near its target size between runs).
-func dsRun(o Options, size int, mix harness.Mix, mkWorkload func(t *tsx.Thread, size int, mix harness.Mix) harness.Workload,
-	specs []harness.SchemeSpec, threads int) map[string]harness.Result {
+// dsGroup declares one populated data structure and the schemes to measure
+// on it. A figure declares all its groups up front; dsRunGroups builds each
+// group's machine once, then fans the (group × scheme) points out across
+// host workers, every point on its own clone.
+type dsGroup struct {
+	size    int
+	mix     harness.Mix
+	mk      func(t *tsx.Thread, size int, mix harness.Mix) harness.Workload
+	specs   []harness.SchemeSpec
+	threads int
+	// mcfg overrides the machine configuration (default machineCfg(o, size)).
+	mcfg *tsx.Config
+	// rcfg overrides the run configuration (default: threads, Budget
+	// measured cycles after a Budget warmup — the paper's 3-second runs
+	// measure the post-avalanche steady state, so the trigger transient is
+	// skipped).
+	rcfg *harness.Config
+	// runs overrides Options.Runs for this group's points.
+	runs int
+}
 
-	m := tsx.NewMachine(machineCfg(o, size))
-	var w harness.Workload
-	m.RunOne(func(t *tsx.Thread) {
-		w = mkWorkload(t, size, mix)
-		w.Populate(t)
-	})
-	runs := o.Runs
-	if runs <= 0 {
-		runs = 1
-	}
-	out := make(map[string]harness.Result, len(specs))
-	for _, spec := range specs {
-		// Average over repeated runs: the tree persists and the RNG
-		// streams continue, so repetitions sample different phases of
-		// the (metastable) avalanche dynamics, as the paper's
-		// "average on 10 runs" does.
-		var agg harness.Result
-		for r := 0; r < runs; r++ {
-			var scheme core.Scheme
-			m.RunOne(func(t *tsx.Thread) { scheme = spec.Build(t) })
-			res := harness.Run(m, scheme, w, harness.Config{
-				Threads:     threads,
-				CycleBudget: o.Budget,
-				// Skip the trigger transient; the paper's 3-second
-				// runs measure the post-avalanche steady state.
-				Warmup: o.Budget,
-			})
-			agg.Ops.Add(res.Ops)
-			agg.TSX.Add(res.TSX)
-			agg.MaxClock += res.MaxClock
-			agg.Throughput += res.Throughput
+// dsRunGroups measures every group's schemes and returns one result map per
+// group, indexed as declared. Phase one populates each group's template
+// machine (population dominates cost for large sizes, so siblings share
+// it); phase two runs each (group, scheme) point on a clone of its template,
+// reseeded from the point's coordinates. Within a point, repetitions reuse
+// the clone: memory state persists, so they sample different phases of the
+// (metastable) avalanche dynamics, as the paper's "average on 10 runs" does.
+func dsRunGroups(o Options, groups []dsGroup) []map[string]harness.Result {
+	templates := make([]*tsx.Machine, len(groups))
+	workloads := make([]harness.Workload, len(groups))
+	harness.ParallelFor(o.Parallel, len(groups), func(gi int) {
+		g := groups[gi]
+		cfg := machineCfg(o, g.size)
+		if g.mcfg != nil {
+			cfg = *g.mcfg
 		}
-		agg.Throughput /= float64(runs)
-		out[spec.String()] = agg
+		m := tsx.NewMachine(cfg)
+		m.RunOne(func(t *tsx.Thread) {
+			workloads[gi] = g.mk(t, g.size, g.mix)
+			workloads[gi].Populate(t)
+		})
+		templates[gi] = m
+	})
+
+	var points []harness.PointSpec
+	var coords [][2]int
+	for gi, g := range groups {
+		cfg := harness.Config{Threads: g.threads, CycleBudget: o.Budget, Warmup: o.Budget}
+		if g.rcfg != nil {
+			cfg = *g.rcfg
+		}
+		runs := g.runs
+		if runs == 0 {
+			runs = o.Runs
+		}
+		for si := range g.specs {
+			points = append(points, harness.PointSpec{
+				Template: templates[gi],
+				Workload: workloads[gi],
+				Scheme:   g.specs[si],
+				Seed:     harness.DeriveSeed(o.Seed, gi, si),
+				Runs:     runs,
+				Cfg:      cfg,
+			})
+			coords = append(coords, [2]int{gi, si})
+		}
+	}
+	results := harness.RunPoints(o.Parallel, points)
+
+	out := make([]map[string]harness.Result, len(groups))
+	for gi, g := range groups {
+		out[gi] = make(map[string]harness.Result, len(g.specs))
+	}
+	for pi, r := range results {
+		gi, si := coords[pi][0], coords[pi][1]
+		out[gi][groups[gi].specs[si].String()] = r
 	}
 	return out
 }

@@ -1,0 +1,43 @@
+package figures_test
+
+import (
+	"strings"
+	"testing"
+
+	"hle/internal/figures"
+)
+
+// renderFigure runs a figure and renders its tables to one string, the same
+// way cmd/hle-bench prints them.
+func renderFigure(t *testing.T, id string, o figures.Options) string {
+	t.Helper()
+	fig := figures.ByID(id)
+	if fig == nil {
+		t.Fatalf("unknown figure %q", id)
+	}
+	var sb strings.Builder
+	for _, tb := range fig.Run(o) {
+		tb.Fprint(&sb)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelismDoesNotChangeOutput is the determinism regression test for
+// the host-parallel runner: with a fixed seed, rendered figure tables must
+// be byte-identical whether points run on one worker or eight. Figure 3.1
+// exercises the template-clone path (many groups × schemes); abl-spur
+// exercises the fresh-machine path.
+func TestParallelismDoesNotChangeOutput(t *testing.T) {
+	for _, id := range []string{"3.1", "abl-spur"} {
+		o := tinyOpts()
+		o.Parallel = 1
+		seq := renderFigure(t, id, o)
+		o.Parallel = 8
+		par := renderFigure(t, id, o)
+		if seq != par {
+			t.Errorf("figure %s output differs between -parallel 1 and -parallel 8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+				id, seq, par)
+		}
+	}
+}

@@ -20,15 +20,24 @@ func FigProfiles(o Options) []*stats.Table {
 		Header: []string{"workload", "mean accesses", "read lines", "write lines", "attempts/op"},
 	}
 
-	// STAMP applications.
-	for _, app := range stamp.Apps() {
+	spec := harness.SchemeSpec{Scheme: "Opt-SLR", Lock: "TTAS"}
+
+	// STAMP applications, one independent point each.
+	apps := stamp.Apps()
+	stampRes := make([]stamp.Result, len(apps))
+	harness.ParallelFor(o.Parallel, len(apps), func(ai int) {
 		cfg := tsx.DefaultConfig(o.Threads)
 		cfg.Seed = o.Seed
 		cfg.MemWords = 1 << 19
-		res, err := stamp.Run(cfg, harness.SchemeSpec{Scheme: "Opt-SLR", Lock: "TTAS"}, app.Make, o.Threads)
+		res, err := stamp.Run(cfg, spec, apps[ai].Make, o.Threads)
 		if err != nil {
 			panic(err)
 		}
+		stampRes[ai] = res
+		harness.NotePoint()
+	})
+	for ai, app := range apps {
+		res := stampRes[ai]
 		tb.AddRow(app.Name,
 			stats.F2(res.TSX.MeanAccesses()),
 			stats.F2(res.TSX.MeanReadLines()),
@@ -36,23 +45,22 @@ func FigProfiles(o Options) []*stats.Table {
 			stats.F2(res.Ops.AttemptsPerOp()))
 	}
 
-	// Data-structure benchmarks at two sizes for context.
-	for _, size := range []int{128, 32768} {
-		res := dsRun(o, size, harness.MixModerate, mkRBTree,
-			[]harness.SchemeSpec{{Scheme: "Opt-SLR", Lock: "TTAS"}}, o.Threads)["Opt-SLR TTAS"]
-		tb.AddRow("rbtree-"+stats.SizeLabel(size),
+	// Data-structure benchmarks at two sizes (plus a hash table) for
+	// context.
+	groups := []dsGroup{
+		{size: 128, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads, specs: []harness.SchemeSpec{spec}},
+		{size: 32768, mix: harness.MixModerate, mk: mkRBTree, threads: o.Threads, specs: []harness.SchemeSpec{spec}},
+		{size: 1024, mix: harness.MixModerate, mk: mkHashTable, threads: o.Threads, specs: []harness.SchemeSpec{spec}},
+	}
+	labels := []string{"rbtree-" + stats.SizeLabel(128), "rbtree-" + stats.SizeLabel(32768), "hashtable-1K"}
+	for gi, resByScheme := range dsRunGroups(o, groups) {
+		res := resByScheme[spec.String()]
+		tb.AddRow(labels[gi],
 			stats.F2(res.TSX.MeanAccesses()),
 			stats.F2(res.TSX.MeanReadLines()),
 			stats.F2(res.TSX.MeanWriteLines()),
 			stats.F2(res.Ops.AttemptsPerOp()))
 	}
-	res := dsRun(o, 1024, harness.MixModerate, mkHashTable,
-		[]harness.SchemeSpec{{Scheme: "Opt-SLR", Lock: "TTAS"}}, o.Threads)["Opt-SLR TTAS"]
-	tb.AddRow("hashtable-1K",
-		stats.F2(res.TSX.MeanAccesses()),
-		stats.F2(res.TSX.MeanReadLines()),
-		stats.F2(res.TSX.MeanWriteLines()),
-		stats.F2(res.Ops.AttemptsPerOp()))
 
 	return []*stats.Table{tb}
 }

@@ -15,18 +15,43 @@ import (
 	"hle/internal/tsx"
 )
 
-// Workload produces critical-section closures over a pre-populated
+// OpKind enumerates the workload operations.
+type OpKind uint8
+
+// The operation kinds of the set/map workloads.
+const (
+	OpLookup OpKind = iota
+	OpInsert
+	OpDelete
+)
+
+// Op is one drawn operation, executed via Workload.Exec. Ops are plain
+// values rather than closures so the measurement loop performs no
+// per-operation heap allocation — drawing and running millions of ops per
+// point, the closure allocations this replaces dominated the harness's own
+// profile.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Workload produces critical-section operations over a pre-populated
 // structure in simulated memory.
+//
+// A Workload's Go-side state must be immutable after Populate: the
+// structure lives at simulated addresses, which stay valid in every clone
+// of the populated machine, so one Workload value serves many concurrent
+// experiment points over cloned machines (see PointSpec).
 type Workload interface {
 	// Name identifies the workload in reports.
 	Name() string
 	// Populate builds the initial structure; called once, single-threaded.
 	Populate(t *tsx.Thread)
-	// NextOp draws the next operation (using the thread's deterministic
-	// RNG) and returns it as a critical-section closure. The closure
-	// must be idempotent under rollback, which all simulated-memory
-	// operations are.
-	NextOp(t *tsx.Thread) func()
+	// NextOp draws the next operation using the thread's deterministic RNG.
+	NextOp(t *tsx.Thread) Op
+	// Exec runs op's critical section on t. It must be idempotent under
+	// rollback, which all simulated-memory operations are.
+	Exec(t *tsx.Thread, op Op)
 }
 
 // Config controls one measurement run.
@@ -74,8 +99,12 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 	var res Result
 	threads := m.Run(cfg.Threads, func(t *tsx.Thread) {
 		scheme.Setup(t)
+		// One closure per thread, re-aimed at each drawn op: the
+		// critical section the scheme retries is allocation-free.
+		var op Op
+		cs := func() { w.Exec(t, op) }
 		for t.Clock() < end {
-			cs := w.NextOp(t)
+			op = w.NextOp(t)
 			r := scheme.Run(t, cs)
 			// Shared state is safe: simulated execution is
 			// token-serialized.

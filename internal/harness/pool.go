@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hle/internal/core"
+	"hle/internal/tsx"
+)
+
+// PointSpec declares one experiment point: a machine, a workload, a scheme,
+// and a run configuration. Points are independent simulations, so a figure
+// declares its points as a flat list and RunPoints fans them out across host
+// workers; results come back by declaration index, so output built from them
+// is identical whatever the worker count.
+type PointSpec struct {
+	// Template, when non-nil, is a populated machine that is cloned for
+	// this point; Workload must then be the workload living in it. Many
+	// points may share one Template — Clone takes a memory snapshot, and
+	// workload Go-side state is immutable after Populate, so sharing is
+	// safe even across concurrent workers.
+	Template *tsx.Machine
+	Workload Workload
+
+	// Machine and MkWorkload describe the fresh-machine mode, used when
+	// Template is nil: a machine is built from Machine, and MkWorkload
+	// creates and the point populates the workload on it.
+	Machine    tsx.Config
+	MkWorkload func(t *tsx.Thread) Workload
+
+	// Scheme selects the scheme by name; MkScheme, when non-nil, overrides
+	// it for schemes that need custom construction (ablation variants).
+	Scheme   SchemeSpec
+	MkScheme func(t *tsx.Thread) core.Scheme
+
+	// Seed, when non-zero, reseeds the machine after clone/populate so the
+	// measurement streams are the point's own regardless of which template
+	// it shares. Derive it from the figure's base seed and the point's
+	// coordinates (DeriveSeed).
+	Seed int64
+
+	// Runs repeats the measurement, averaging results; memory state
+	// persists across repetitions (the structure keeps evolving), matching
+	// the paper's repeated-trial methodology. Zero means one run.
+	Runs int
+
+	// Cfg is the measurement configuration.
+	Cfg Config
+}
+
+// Run executes the point and returns its (possibly averaged) result.
+func (p PointSpec) Run() Result {
+	var m *tsx.Machine
+	w := p.Workload
+	if p.Template != nil {
+		m = p.Template.Clone()
+	} else {
+		m = tsx.NewMachine(p.Machine)
+		m.RunOne(func(t *tsx.Thread) {
+			w = p.MkWorkload(t)
+			w.Populate(t)
+		})
+	}
+	if p.Seed != 0 {
+		m.Reseed(p.Seed)
+	}
+	runs := p.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	var acc Result
+	for r := 0; r < runs; r++ {
+		var scheme core.Scheme
+		m.RunOne(func(t *tsx.Thread) {
+			if p.MkScheme != nil {
+				scheme = p.MkScheme(t)
+			} else {
+				scheme = p.Scheme.Build(t)
+			}
+		})
+		res := Run(m, scheme, w, p.Cfg)
+		acc.Ops.Add(res.Ops)
+		acc.TSX.Add(res.TSX)
+		acc.MaxClock += res.MaxClock
+		acc.Throughput += res.Throughput
+		acc.Timeline = res.Timeline
+	}
+	acc.MaxClock /= uint64(runs)
+	acc.Throughput /= float64(runs)
+	pointsRun.Add(1)
+	return acc
+}
+
+// RunPoints executes the points across min(parallel, len(points)) host
+// workers (parallel <= 0 means GOMAXPROCS) and returns results indexed as
+// declared.
+func RunPoints(parallel int, points []PointSpec) []Result {
+	results := make([]Result, len(points))
+	ParallelFor(parallel, len(points), func(i int) {
+		results[i] = points[i].Run()
+	})
+	return results
+}
+
+// ParallelFor runs job(0..n-1) across min(parallel, n) goroutines
+// (parallel <= 0 means GOMAXPROCS). Indices are claimed dynamically, so
+// uneven job costs balance; with parallel == 1 it degenerates to a plain
+// loop. A panicking job is re-panicked in the caller after all workers
+// stop.
+func ParallelFor(parallel, n int, job func(i int)) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked any
+		once     sync.Once
+	)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							once.Do(func() { panicked = r })
+						}
+					}()
+					job(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// DeriveSeed mixes a base seed with point coordinates into an independent,
+// never-zero seed, so sibling points sharing a template get decorrelated
+// measurement streams that do not depend on execution order.
+func DeriveSeed(base int64, coords ...int) int64 {
+	z := uint64(base) ^ 0x9e3779b97f4a7c15
+	for _, c := range coords {
+		z += uint64(c)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	z &^= 1 << 63 // keep positive
+	if z == 0 {
+		z = 0x1e3779b97f4a7c15 // never 0: Seed==0 means "unset"
+	}
+	return int64(z)
+}
+
+// pointsRun counts completed experiment points process-wide, for timing
+// reports.
+var pointsRun atomic.Uint64
+
+// PointsRun returns the number of experiment points completed so far.
+func PointsRun() uint64 { return pointsRun.Load() }
+
+// NotePoint counts an experiment point executed outside PointSpec (figures
+// that drive a machine directly, such as STAMP runs), so timing reports see
+// every point.
+func NotePoint() { pointsRun.Add(1) }

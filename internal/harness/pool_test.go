@@ -1,0 +1,143 @@
+package harness_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hle/internal/harness"
+	"hle/internal/tsx"
+)
+
+// poolPoints builds a template machine with a populated tree and a set of
+// points over it, mimicking how a figure generator declares work.
+func poolPoints(t *testing.T) []harness.PointSpec {
+	t.Helper()
+	mcfg := machineCfg(4, 11)
+	tmpl := tsx.NewMachine(mcfg)
+	var w harness.Workload
+	tmpl.RunOne(func(th *tsx.Thread) {
+		w = harness.NewRBTree(th, 64, harness.MixModerate)
+		w.Populate(th)
+	})
+	specs := []harness.SchemeSpec{
+		{Scheme: "Standard", Lock: "TTAS"},
+		{Scheme: "HLE", Lock: "TTAS"},
+		{Scheme: "HLE", Lock: "MCS"},
+		{Scheme: "HLE-SCM", Lock: "MCS"},
+	}
+	var points []harness.PointSpec
+	for si, spec := range specs {
+		points = append(points, harness.PointSpec{
+			Template: tmpl,
+			Workload: w,
+			Scheme:   spec,
+			Seed:     harness.DeriveSeed(11, 0, si),
+			Runs:     2,
+			Cfg:      harness.Config{Threads: 4, CycleBudget: 30_000, Warmup: 5_000},
+		})
+	}
+	return points
+}
+
+// TestRunPointsParallelMatchesSequential: the pool's defining property —
+// results are independent of the worker count.
+func TestRunPointsParallelMatchesSequential(t *testing.T) {
+	seq := harness.RunPoints(1, poolPoints(t))
+	par := harness.RunPoints(4, poolPoints(t))
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel results differ from sequential:\nseq=%+v\npar=%+v", seq, par)
+	}
+	for i, r := range seq {
+		if r.Ops.Ops == 0 {
+			t.Errorf("point %d completed no operations", i)
+		}
+	}
+}
+
+// TestPointSpecFreshMachine: the Template-less mode builds, populates, and
+// measures a machine of its own, deterministically.
+func TestPointSpecFreshMachine(t *testing.T) {
+	p := harness.PointSpec{
+		Machine: machineCfg(2, 7),
+		MkWorkload: func(th *tsx.Thread) harness.Workload {
+			return harness.NewRBTree(th, 32, harness.MixExtensive)
+		},
+		Scheme: harness.SchemeSpec{Scheme: "HLE", Lock: "TTAS"},
+		Cfg:    harness.Config{Threads: 2, CycleBudget: 20_000},
+	}
+	r1, r2 := p.Run(), p.Run()
+	if r1.Ops.Ops == 0 {
+		t.Fatal("fresh-machine point completed no operations")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("fresh-machine point not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestTemplateSurvivesPoints: running points over clones must leave the
+// template untouched, so it can be reused for another batch.
+func TestTemplateSurvivesPoints(t *testing.T) {
+	pts := poolPoints(t)
+	tmpl := pts[0].Template
+	before := tmpl.Mem.Snapshot()
+	harness.RunPoints(4, pts)
+	after := tmpl.Mem.Snapshot()
+	if !reflect.DeepEqual(before.Words(), after.Words()) {
+		t.Fatal("running cloned points mutated the template's memory")
+	}
+}
+
+// TestDeriveSeed: distinct coordinates give distinct non-zero seeds, and the
+// function is a pure function of its inputs.
+func TestDeriveSeed(t *testing.T) {
+	seen := map[int64]bool{}
+	for g := 0; g < 10; g++ {
+		for s := 0; s < 10; s++ {
+			d := harness.DeriveSeed(42, g, s)
+			if d == 0 {
+				t.Fatalf("DeriveSeed(42,%d,%d) = 0", g, s)
+			}
+			if seen[d] {
+				t.Fatalf("seed collision at (%d,%d)", g, s)
+			}
+			seen[d] = true
+			if d != harness.DeriveSeed(42, g, s) {
+				t.Fatal("DeriveSeed not deterministic")
+			}
+		}
+	}
+	if harness.DeriveSeed(1, 2, 3) == harness.DeriveSeed(2, 2, 3) {
+		t.Error("base seed has no effect")
+	}
+}
+
+// TestParallelForCoversAllIndices: every index runs exactly once whatever
+// the worker count, including counts above n and the sequential path.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 64} {
+		const n = 37
+		var hits [n]atomic.Int32
+		harness.ParallelFor(par, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallel=%d: index %d ran %d times", par, i, got)
+			}
+		}
+	}
+}
+
+// TestParallelForPanicPropagates: a panicking job surfaces in the caller.
+func TestParallelForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	harness.ParallelFor(4, 8, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ParallelFor returned despite panicking job")
+}

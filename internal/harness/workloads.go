@@ -63,16 +63,19 @@ func (w *RBTree) Populate(t *tsx.Thread) {
 func (w *RBTree) Tree() *rbtree.Tree { return w.tree }
 
 // NextOp implements Workload.
-func (w *RBTree) NextOp(t *tsx.Thread) func() {
-	key := uint64(t.Rand().Intn(2 * w.Size))
-	p := t.Rand().Intn(100)
-	switch {
-	case p < w.Mix.InsertPct:
-		return func() { w.tree.Insert(t, key, 1) }
-	case p < w.Mix.InsertPct+w.Mix.DeletePct:
-		return func() { w.tree.Delete(t, key) }
+func (w *RBTree) NextOp(t *tsx.Thread) Op {
+	return drawOp(t, w.Size, w.Mix)
+}
+
+// Exec implements Workload.
+func (w *RBTree) Exec(t *tsx.Thread, op Op) {
+	switch op.Kind {
+	case OpInsert:
+		w.tree.Insert(t, op.Key, 1)
+	case OpDelete:
+		w.tree.Delete(t, op.Key)
 	default:
-		return func() { w.tree.Contains(t, key) }
+		w.tree.Contains(t, op.Key)
 	}
 }
 
@@ -106,15 +109,33 @@ func (w *HashTable) Populate(t *tsx.Thread) {
 }
 
 // NextOp implements Workload.
-func (w *HashTable) NextOp(t *tsx.Thread) func() {
-	key := uint64(t.Rand().Intn(2 * w.Size))
+func (w *HashTable) NextOp(t *tsx.Thread) Op {
+	return drawOp(t, w.Size, w.Mix)
+}
+
+// Exec implements Workload.
+func (w *HashTable) Exec(t *tsx.Thread, op Op) {
+	switch op.Kind {
+	case OpInsert:
+		w.table.Insert(t, op.Key, 1)
+	case OpDelete:
+		w.table.Delete(t, op.Key)
+	default:
+		w.table.Contains(t, op.Key)
+	}
+}
+
+// drawOp samples one operation: a key uniform over twice the target size
+// and a kind from the mix, matching the paper's methodology.
+func drawOp(t *tsx.Thread, size int, mix Mix) Op {
+	key := uint64(t.Rand().Intn(2 * size))
 	p := t.Rand().Intn(100)
 	switch {
-	case p < w.Mix.InsertPct:
-		return func() { w.table.Insert(t, key, 1) }
-	case p < w.Mix.InsertPct+w.Mix.DeletePct:
-		return func() { w.table.Delete(t, key) }
+	case p < mix.InsertPct:
+		return Op{Kind: OpInsert, Key: key}
+	case p < mix.InsertPct+mix.DeletePct:
+		return Op{Kind: OpDelete, Key: key}
 	default:
-		return func() { w.table.Contains(t, key) }
+		return Op{Kind: OpLookup, Key: key}
 	}
 }

@@ -31,7 +31,7 @@ func TestMixDistribution(t *testing.T) {
 		w := harness.NewRBTree(th, 64, harness.Mix{InsertPct: 100})
 		w.Populate(th)
 		for i := 0; i < 2000; i++ {
-			w.NextOp(th)()
+			w.Exec(th, w.NextOp(th))
 		}
 		// Coupon collector: 2000 random inserts over a 128-key domain
 		// saturate it with overwhelming probability.
@@ -42,7 +42,7 @@ func TestMixDistribution(t *testing.T) {
 		w2 := harness.NewRBTree(th, 64, harness.Mix{DeletePct: 100})
 		w2.Populate(th)
 		for i := 0; i < 3000; i++ {
-			w2.NextOp(th)()
+			w2.Exec(th, w2.NextOp(th))
 		}
 		if got := w2.Tree().Size(th); got != 0 {
 			t.Errorf("delete-only mix left %d nodes", got)
@@ -52,7 +52,7 @@ func TestMixDistribution(t *testing.T) {
 		w3.Populate(th)
 		before := w3.Tree().Size(th)
 		for i := 0; i < 500; i++ {
-			w3.NextOp(th)()
+			w3.Exec(th, w3.NextOp(th))
 		}
 		if got := w3.Tree().Size(th); got != before {
 			t.Errorf("lookup-only mix changed size %d -> %d", before, got)
@@ -66,7 +66,7 @@ func TestModerateMixKeepsSizeStable(t *testing.T) {
 		w := harness.NewRBTree(th, 256, harness.MixModerate)
 		w.Populate(th)
 		for i := 0; i < 5000; i++ {
-			w.NextOp(th)()
+			w.Exec(th, w.NextOp(th))
 		}
 		size := w.Tree().Size(th)
 		// Equal insert/delete rates keep the size near target.

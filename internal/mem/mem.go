@@ -9,7 +9,11 @@
 // (internal/sim), the masks are exact — they never contain stale bits.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"maps"
+	"slices"
+)
 
 // LineWords is the number of 64-bit words per cache line (64-byte lines).
 const LineWords = 8
@@ -34,13 +38,169 @@ type LineMeta struct {
 	Writers uint64
 }
 
+// smallClasses bounds the dense size-class tables of a FreeTable: blocks of
+// up to smallClasses-1 words (or lines) index a slice directly, the hot
+// path for data-structure nodes; rarer large blocks fall back to a map.
+const smallClasses = 128
+
+// FreeTable holds per-size free lists of recycled allocations, split into
+// word-granularity classes (Alloc/Free) and line-granularity classes
+// (AllocLines/FreeLines). The two kinds never mix: a block keeps the
+// alignment and padding of its original allocation for its whole life.
+//
+// The zero FreeTable is ready to use. It is shared by the global allocator
+// in Memory and by the per-thread allocation caches in internal/tsx, both
+// of which recycle blocks on every simulated node allocation — the reason
+// the classes are dense slices rather than a map.
+type FreeTable struct {
+	word    [smallClasses][]Addr // word[n]: free blocks of exactly n words
+	line    [smallClasses][]Addr // line[k]: free padded blocks of k lines
+	bigWord map[int][]Addr       // n >= smallClasses (rare)
+	bigLine map[int][]Addr       // k >= smallClasses (rare)
+}
+
+// lineClass converts a requested word count of a line-granular allocation
+// into its class key: the padded size in whole lines.
+func lineClass(n int) int { return (n + LineWords - 1) >> LineShift }
+
+// Push records a free block of n words. lines tells which allocation kind
+// (and therefore which class family) the block belongs to.
+func (f *FreeTable) Push(n int, lines bool, a Addr) {
+	if lines {
+		k := lineClass(n)
+		if k < smallClasses {
+			f.line[k] = append(f.line[k], a)
+			return
+		}
+		if f.bigLine == nil {
+			f.bigLine = make(map[int][]Addr)
+		}
+		f.bigLine[k] = append(f.bigLine[k], a)
+		return
+	}
+	if n < smallClasses {
+		f.word[n] = append(f.word[n], a)
+		return
+	}
+	if f.bigWord == nil {
+		f.bigWord = make(map[int][]Addr)
+	}
+	f.bigWord[n] = append(f.bigWord[n], a)
+}
+
+// Pop takes a free block of the given size and kind, or returns Nil.
+func (f *FreeTable) Pop(n int, lines bool) Addr {
+	var fl []Addr
+	if lines {
+		k := lineClass(n)
+		if k < smallClasses {
+			fl = f.line[k]
+			if len(fl) == 0 {
+				return Nil
+			}
+			f.line[k] = fl[:len(fl)-1]
+			return fl[len(fl)-1]
+		}
+		fl = f.bigLine[k]
+		if len(fl) == 0 {
+			return Nil
+		}
+		f.bigLine[k] = fl[:len(fl)-1]
+		return fl[len(fl)-1]
+	}
+	if n < smallClasses {
+		fl = f.word[n]
+		if len(fl) == 0 {
+			return Nil
+		}
+		f.word[n] = fl[:len(fl)-1]
+		return fl[len(fl)-1]
+	}
+	fl = f.bigWord[n]
+	if len(fl) == 0 {
+		return Nil
+	}
+	f.bigWord[n] = fl[:len(fl)-1]
+	return fl[len(fl)-1]
+}
+
+// Drain empties the table, invoking fn once per block with the size (in
+// words) and kind it was pushed under.
+func (f *FreeTable) Drain(fn func(n int, lines bool, a Addr)) {
+	for n := range f.word {
+		for _, a := range f.word[n] {
+			fn(n, false, a)
+		}
+		f.word[n] = nil
+	}
+	for k := range f.line {
+		for _, a := range f.line[k] {
+			fn(k*LineWords, true, a)
+		}
+		f.line[k] = nil
+	}
+	for n, fl := range f.bigWord {
+		for _, a := range fl {
+			fn(n, false, a)
+		}
+	}
+	f.bigWord = nil
+	for k, fl := range f.bigLine {
+		for _, a := range fl {
+			fn(k*LineWords, true, a)
+		}
+	}
+	f.bigLine = nil
+}
+
+// clone deep-copies the table so that the copy and the original can be
+// pushed/popped independently (they must not share slice backing arrays).
+func (f *FreeTable) clone() FreeTable {
+	var c FreeTable
+	for n := range f.word {
+		c.word[n] = slices.Clone(f.word[n])
+	}
+	for k := range f.line {
+		c.line[k] = slices.Clone(f.line[k])
+	}
+	if f.bigWord != nil {
+		c.bigWord = make(map[int][]Addr, len(f.bigWord))
+		for n, fl := range f.bigWord {
+			c.bigWord[n] = slices.Clone(fl)
+		}
+	}
+	if f.bigLine != nil {
+		c.bigLine = make(map[int][]Addr, len(f.bigLine))
+		for k, fl := range f.bigLine {
+			c.bigLine[k] = slices.Clone(fl)
+		}
+	}
+	return c
+}
+
+// DebugChecks arms allocator sanity tracking for Memories created while it
+// is set: every block remembers whether it came from Alloc or AllocLines
+// and at what size, and a Free/FreeLines of the wrong kind or size — or of
+// a block that is already free — panics instead of silently corrupting the
+// free lists. Off by default: the tracking map would otherwise sit on the
+// per-node allocation hot path.
+var DebugChecks bool
+
+// allocKind records how a block was allocated, for DebugChecks mode.
+type allocKind struct {
+	n     int
+	lines bool
+	free  bool
+}
+
 // Memory is a simulated physical memory. It grows on demand up to maxWords.
 type Memory struct {
 	words    []uint64
 	lines    []LineMeta
 	next     Addr
 	maxWords int
-	frees    map[int][]Addr // free lists by exact allocation size
+	free     FreeTable
+	owner    map[Addr]allocKind // nil unless DebugChecks was set at New
 }
 
 // DefaultMaxWords bounds memory growth: 1<<26 words = 512 MB simulated.
@@ -53,13 +213,16 @@ func New(initWords int) *Memory {
 		initWords = 4 * LineWords
 	}
 	initWords = roundUpLine(initWords)
-	return &Memory{
+	m := &Memory{
 		words:    make([]uint64, initWords),
 		lines:    make([]LineMeta, initWords/LineWords),
 		next:     LineWords, // keep line 0 (and Addr 0 == Nil) unallocated
 		maxWords: DefaultMaxWords,
-		frees:    make(map[int][]Addr),
 	}
+	if DebugChecks {
+		m.owner = make(map[Addr]allocKind)
+	}
+	return m
 }
 
 func roundUpLine(n int) int {
@@ -88,6 +251,45 @@ func (m *Memory) Read(a Addr) uint64 { return m.words[a] }
 // Write sets the committed value of the word at address a.
 func (m *Memory) Write(a Addr, v uint64) { m.words[a] = v }
 
+// NoteAlloc marks a block live in DebugChecks mode. The TSX engine's
+// thread-local allocation caches call it when they recycle a block without
+// going through Alloc/AllocLines; without DebugChecks it is a no-op.
+func (m *Memory) NoteAlloc(a Addr, n int, lines bool) {
+	if m.owner == nil {
+		return
+	}
+	m.owner[a] = allocKind{n: n, lines: lines}
+}
+
+// CheckFree validates a free against the block's allocation record in
+// DebugChecks mode: kind and size must match, and the block must be live.
+// The TSX engine calls it from its thread-cache free path; Free/FreeLines
+// call it internally. Without DebugChecks it is a no-op.
+func (m *Memory) CheckFree(a Addr, n int, lines bool) {
+	if m.owner == nil {
+		return
+	}
+	k, ok := m.owner[a]
+	if !ok {
+		panic(fmt.Sprintf("mem: free of never-allocated address %d (n=%d, lines=%v)", a, n, lines))
+	}
+	if k.free {
+		panic(fmt.Sprintf("mem: double free of address %d (n=%d, lines=%v)", a, n, lines))
+	}
+	if k.lines != lines {
+		panic(fmt.Sprintf("mem: free kind mismatch at address %d: allocated lines=%v, freed lines=%v", a, k.lines, lines))
+	}
+	sameSize := k.n == n
+	if lines {
+		sameSize = lineClass(k.n) == lineClass(n)
+	}
+	if !sameSize {
+		panic(fmt.Sprintf("mem: free size mismatch at address %d: allocated %d words, freed %d", a, k.n, n))
+	}
+	k.free = true
+	m.owner[a] = k
+}
+
 // Alloc allocates n contiguous words and returns the address of the first.
 // Allocations never span more lines than necessary but are only word
 // aligned; use AllocLines when a structure must own whole cache lines.
@@ -99,9 +301,8 @@ func (m *Memory) Alloc(n int) Addr {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: Alloc(%d)", n))
 	}
-	if fl := m.frees[n]; len(fl) > 0 {
-		a := fl[len(fl)-1]
-		m.frees[n] = fl[:len(fl)-1]
+	if a := m.free.Pop(n, false); a != Nil {
+		m.NoteAlloc(a, n, false)
 		return a
 	}
 	// Avoid straddling a line boundary for small objects: a sub-line
@@ -115,6 +316,7 @@ func (m *Memory) Alloc(n int) Addr {
 	a := m.next
 	m.grow(int(a) + n)
 	m.next = a + Addr(n)
+	m.NoteAlloc(a, n, false)
 	return a
 }
 
@@ -126,27 +328,38 @@ func (m *Memory) AllocLines(n int) Addr {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: AllocLines(%d)", n))
 	}
-	padded := roundUpLine(n)
-	if fl := m.frees[-padded]; len(fl) > 0 {
-		a := fl[len(fl)-1]
-		m.frees[-padded] = fl[:len(fl)-1]
+	if a := m.free.Pop(n, true); a != Nil {
+		m.NoteAlloc(a, n, true)
 		return a
 	}
+	padded := roundUpLine(n)
 	m.next = Addr(roundUpLine(int(m.next)))
 	a := m.next
 	m.grow(int(a) + padded)
 	m.next = a + Addr(padded)
+	m.NoteAlloc(a, n, true)
 	return a
 }
 
 // Free returns an allocation obtained from Alloc(n) to the allocator.
+// In DebugChecks mode, freeing an AllocLines block here (or vice versa)
+// panics — the two kinds have different padding and must never mix.
 func (m *Memory) Free(a Addr, n int) {
-	m.frees[n] = append(m.frees[n], a)
+	m.CheckFree(a, n, false)
+	m.free.Push(n, false, a)
 }
 
 // FreeLines returns an allocation obtained from AllocLines(n).
 func (m *Memory) FreeLines(a Addr, n int) {
-	m.frees[-roundUpLine(n)] = append(m.frees[-roundUpLine(n)], a)
+	m.CheckFree(a, n, true)
+	m.free.Push(n, true, a)
+}
+
+// Recycle returns a block to the global free lists without the DebugChecks
+// live-to-free transition: the TSX engine's thread-cache flush uses it for
+// blocks whose Free already ran the check.
+func (m *Memory) Recycle(a Addr, n int, lines bool) {
+	m.free.Push(n, lines, a)
 }
 
 // WordsInUse reports the high-water mark of allocated words.
@@ -172,4 +385,53 @@ func (m *Memory) grow(need int) {
 	lines := make([]LineMeta, newLen/LineWords)
 	copy(lines, m.lines)
 	m.lines = lines
+}
+
+// Snapshot is an immutable deep copy of a Memory's complete state — word
+// array, line metadata, bump pointer, and free lists. The experiment pool
+// snapshots a populated workload once and builds an independent Memory per
+// concurrent point from it (via Restore or FromSnapshot) instead of
+// repopulating, which dominates point cost for large structures.
+type Snapshot struct {
+	words    []uint64
+	lines    []LineMeta
+	next     Addr
+	maxWords int
+	free     FreeTable
+	owner    map[Addr]allocKind
+}
+
+// Words exposes the snapshot's word-array copy (tests compare snapshots to
+// detect unwanted mutation).
+func (s *Snapshot) Words() []uint64 { return s.words }
+
+// Snapshot captures the memory's current state. The caller must ensure no
+// simulated threads are running (line metadata must be quiescent).
+func (m *Memory) Snapshot() *Snapshot {
+	return &Snapshot{
+		words:    slices.Clone(m.words),
+		lines:    slices.Clone(m.lines),
+		next:     m.next,
+		maxWords: m.maxWords,
+		free:     m.free.clone(),
+		owner:    maps.Clone(m.owner),
+	}
+}
+
+// Restore resets m to a previously captured snapshot. The snapshot is not
+// consumed: it can seed any number of memories.
+func (m *Memory) Restore(s *Snapshot) {
+	m.words = slices.Clone(s.words)
+	m.lines = slices.Clone(s.lines)
+	m.next = s.next
+	m.maxWords = s.maxWords
+	m.free = s.free.clone()
+	m.owner = maps.Clone(s.owner)
+}
+
+// FromSnapshot builds a new independent Memory from a snapshot.
+func FromSnapshot(s *Snapshot) *Memory {
+	m := &Memory{}
+	m.Restore(s)
+	return m
 }

@@ -171,3 +171,178 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("New did not clamp initial size")
 	}
 }
+
+func TestBigSizeClassReuse(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(smallClasses * 3) // beyond the dense classes
+	m.Free(a, smallClasses*3)
+	if b := m.Alloc(smallClasses * 3); b != a {
+		t.Fatalf("big word class reuse failed: got %d want %d", b, a)
+	}
+	la := m.AllocLines(smallClasses * LineWords * 2)
+	m.FreeLines(la, smallClasses*LineWords*2)
+	if lb := m.AllocLines(smallClasses * LineWords * 2); lb != la {
+		t.Fatalf("big line class reuse failed: got %d want %d", lb, la)
+	}
+}
+
+func TestFreeLinesPaddedSizeEquivalence(t *testing.T) {
+	// FreeLines keys by padded whole-line size: freeing with any word count
+	// that rounds to the same line count reuses the block.
+	m := New(64)
+	a := m.AllocLines(9) // pads to 2 lines
+	m.FreeLines(a, 10)   // also 2 lines
+	if b := m.AllocLines(16); b != a {
+		t.Fatalf("padded-size free-list reuse failed: got %d want %d", b, a)
+	}
+}
+
+func TestFreeTableDrain(t *testing.T) {
+	var f FreeTable
+	f.Push(4, false, 100)
+	f.Push(smallClasses+1, false, 200)
+	f.Push(8, true, 300)
+	f.Push((smallClasses+1)*LineWords, true, 400)
+	got := map[Addr][2]int{}
+	f.Drain(func(n int, lines bool, a Addr) {
+		k := 0
+		if lines {
+			k = 1
+		}
+		got[a] = [2]int{n, k}
+	})
+	want := map[Addr][2]int{
+		100: {4, 0}, 200: {smallClasses + 1, 0},
+		300: {8, 1}, 400: {(smallClasses + 1) * LineWords, 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d blocks, want %d", len(got), len(want))
+	}
+	for a, w := range want {
+		if got[a] != w {
+			t.Errorf("block %d drained as %v, want %v", a, got[a], w)
+		}
+	}
+	// A drained table is empty.
+	f.Drain(func(n int, lines bool, a Addr) { t.Errorf("second drain yielded %d", a) })
+	if f.Pop(4, false) != Nil || f.Pop(8, true) != Nil {
+		t.Fatal("drained table still pops blocks")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(4)
+	m.Write(a, 7)
+	b := m.AllocLines(2)
+	m.Write(b, 9)
+	m.Free(a, 4) // leave a block on the free lists
+	snap := m.Snapshot()
+
+	// Mutate the original past the snapshot.
+	c := m.Alloc(4) // pops the freed block
+	if c != a {
+		t.Fatalf("expected free-list reuse, got %d want %d", c, a)
+	}
+	m.Write(b, 1000)
+
+	r := FromSnapshot(snap)
+	if r.Read(a) != 7 || r.Read(b) != 9 {
+		t.Fatal("snapshot did not preserve word contents")
+	}
+	if r.WordsInUse() != int(snap.next) {
+		t.Fatal("snapshot bump pointer mismatch")
+	}
+	// The restored memory sees the freed block, independently of the
+	// original having popped it.
+	if d := r.Alloc(4); d != a {
+		t.Fatalf("restored free lists lost block: got %d want %d", d, a)
+	}
+	// Restored memory is fully independent.
+	r.Write(b, 5)
+	if m.Read(b) != 1000 {
+		t.Fatal("restored memory aliases the original")
+	}
+
+	// Restore-in-place resets state too.
+	m.Restore(snap)
+	if m.Read(b) != 9 {
+		t.Fatal("Restore did not reset word contents")
+	}
+	if d := m.Alloc(4); d != a {
+		t.Fatal("Restore did not reset free lists")
+	}
+}
+
+func TestSnapshotIndependentFreeLists(t *testing.T) {
+	m := New(64)
+	blocks := make([]Addr, 4)
+	for i := range blocks {
+		blocks[i] = m.Alloc(6)
+	}
+	for _, b := range blocks {
+		m.Free(b, 6)
+	}
+	snap := m.Snapshot()
+	r1, r2 := FromSnapshot(snap), FromSnapshot(snap)
+	// Both copies must hand out the same sequence from their own lists.
+	for i := 0; i < 4; i++ {
+		x, y := r1.Alloc(6), r2.Alloc(6)
+		if x != y {
+			t.Fatalf("clone free lists diverged at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func withDebugChecks(t *testing.T) *Memory {
+	t.Helper()
+	DebugChecks = true
+	t.Cleanup(func() { DebugChecks = false })
+	return New(64)
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", want)
+		}
+	}()
+	fn()
+}
+
+func TestDebugChecksKindConfusion(t *testing.T) {
+	m := withDebugChecks(t)
+	a := m.Alloc(8)
+	mustPanic(t, "word block freed as lines", func() { m.FreeLines(a, 8) })
+
+	m2 := withDebugChecks(t)
+	b := m2.AllocLines(8)
+	mustPanic(t, "line block freed as words", func() { m2.Free(b, 8) })
+}
+
+func TestDebugChecksDoubleFreeAndSize(t *testing.T) {
+	m := withDebugChecks(t)
+	a := m.Alloc(4)
+	m.Free(a, 4)
+	mustPanic(t, "double free", func() { m.Free(a, 4) })
+
+	m2 := withDebugChecks(t)
+	b := m2.Alloc(4)
+	mustPanic(t, "size mismatch", func() { m2.Free(b, 5) })
+
+	m3 := withDebugChecks(t)
+	mustPanic(t, "unknown address", func() { m3.Free(500, 4) })
+}
+
+func TestDebugChecksHappyPath(t *testing.T) {
+	m := withDebugChecks(t)
+	a := m.Alloc(4)
+	m.Free(a, 4)
+	if b := m.Alloc(4); b != a {
+		t.Fatal("reuse failed under debug checks")
+	}
+	m.Free(a, 4) // legal again: block is live after realloc
+	la := m.AllocLines(3)
+	m.FreeLines(la, 5) // same padded size: legal
+}

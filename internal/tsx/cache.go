@@ -1,7 +1,5 @@
 package tsx
 
-import "hle/internal/mem"
-
 // lineCache approximates a thread's private cache for *cost* purposes (not
 // correctness — conflict detection is exact and separate): a bounded FIFO
 // set of recently-touched lines. An access outside the set pays
@@ -44,13 +42,15 @@ func (c *lineCache) touch(line int) bool {
 	return false
 }
 
-// chargeAccess applies the cache-miss surcharge for an access to addr when
-// cache cost modeling is enabled.
-func (t *Thread) chargeAccess(a mem.Addr) {
+// chargeLine applies the cache-miss surcharge for an access to the given
+// line when cache cost modeling is enabled. The caller has already computed
+// the line index for its own set tracking; taking it (rather than the
+// address) keeps the index math out of the per-access hot path.
+func (t *Thread) chargeLine(line int) {
 	if t.cache == nil {
 		return
 	}
-	if !t.cache.touch(mem.LineOf(a)) {
+	if !t.cache.touch(line) {
 		t.Step(t.m.cfg.Costs.Miss)
 	}
 }

@@ -200,6 +200,34 @@ func NewMachine(cfg Config) *Machine {
 // Config returns the machine's effective configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Clone returns an independent machine whose simulated memory is a deep
+// copy of m's — word contents, line metadata, allocator state. The
+// experiment pool (internal/harness) populates an expensive workload once
+// on a template machine and clones it per concurrent point instead of
+// repopulating; population dominates point cost for large structures.
+// Clone must not be called while the machine is running.
+func (m *Machine) Clone() *Machine {
+	if m.threads != nil {
+		panic("tsx: Clone while the machine is running")
+	}
+	return &Machine{
+		cfg:          m.cfg,
+		Mem:          mem.FromSnapshot(m.Mem.Snapshot()),
+		logOneMinusP: m.logOneMinusP,
+	}
+}
+
+// Reseed changes the seed that drives the scheduler and per-thread RNG
+// streams of subsequent Run calls. The experiment pool derives an
+// independent seed per point, so a point's results depend only on its own
+// declaration — never on which host worker ran it or in what order.
+func (m *Machine) Reseed(seed int64) {
+	if m.threads != nil {
+		panic("tsx: Reseed while the machine is running")
+	}
+	m.cfg.Seed = seed
+}
+
 // Run simulates n hardware threads, each executing body, and returns the
 // threads (whose clocks and statistics the caller may inspect). Run may be
 // called repeatedly; simulated memory contents persist between calls.
@@ -210,7 +238,7 @@ func (m *Machine) Run(n int, body func(t *Thread)) []*Thread {
 	m.threads = make([]*Thread, n)
 	simCfg := sim.Config{Procs: n, Seed: m.cfg.Seed, Quantum: m.cfg.Quantum}
 	sim.Run(simCfg, n, func(p *sim.Proc) {
-		t := &Thread{Proc: p, m: m, jitterState: uint64(m.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(p.ID+1)*0xbf58476d1ce4e5b9}
+		t := &Thread{Proc: p, m: m, bit: 1 << uint(p.ID), jitterState: uint64(m.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(p.ID+1)*0xbf58476d1ce4e5b9}
 		if m.cfg.CacheLines > 0 {
 			t.cache = newLineCache(m.cfg.CacheLines)
 		}
@@ -240,6 +268,10 @@ type Thread struct {
 	tx     *txState
 	txPool *txState
 
+	// bit is the thread's line-mask bit, 1<<ID, precomputed: the
+	// read/write-set paths consult it on every transactional access.
+	bit uint64
+
 	// jitterState drives the per-step cost noise (seeded per thread).
 	jitterState uint64
 
@@ -252,8 +284,10 @@ type Thread struct {
 	// LIFO free list hands a node freed by one thread straight to the
 	// next allocating thread, whose zeroing stores then conflict with
 	// every transaction that recently traversed that node — a hot-spot
-	// real multi-threaded allocators avoid.
-	freeCache map[int][]mem.Addr
+	// real multi-threaded allocators avoid. Allocated on first free:
+	// the table's size-class arrays are ~6 KB, which would dominate
+	// Thread's footprint for workloads that never free.
+	freeCache *mem.FreeTable
 
 	// elisionSuppressed makes the next XACQUIRE execute without elision.
 	// Hardware sets this state when an HLE transaction aborts: the

@@ -163,6 +163,7 @@ func (t *Thread) commit() {
 		t.m.Mem.Write(a, tx.writeBuf[a])
 	}
 	for _, f := range tx.frees {
+		t.m.Mem.CheckFree(f.addr, f.n, f.lines)
 		t.cachePut(f)
 	}
 	t.clearLineBits(tx)
@@ -175,7 +176,7 @@ func (t *Thread) commit() {
 }
 
 func (t *Thread) clearLineBits(tx *txState) {
-	bit := ^(uint64(1) << uint(t.ID))
+	bit := ^t.bit
 	for _, l := range tx.readLines {
 		t.m.Mem.LineByIndex(l).Readers &= bit
 	}
@@ -205,8 +206,10 @@ func (t *Thread) txPreAccess(tx *txState) {
 // txLoadValue returns the transaction-local view of the word at a without
 // touching read/write sets.
 func (t *Thread) txLoadValue(tx *txState, a mem.Addr) uint64 {
-	if v, ok := tx.writeBuf[a]; ok {
-		return v
+	if len(tx.writeBuf) != 0 {
+		if v, ok := tx.writeBuf[a]; ok {
+			return v
+		}
 	}
 	if tx.elided && a == tx.elidedAddr {
 		return tx.elidedVal
@@ -225,7 +228,7 @@ func (tx *txState) bufWrite(a mem.Addr, v uint64) {
 // Chapter 7 miss-while-lock-held suspension.
 func (t *Thread) txTouchRead(tx *txState, line int) {
 	lm := t.m.Mem.LineByIndex(line)
-	bit := uint64(1) << uint(t.ID)
+	bit := t.bit
 	if lm.Readers&bit != 0 || lm.Writers&bit != 0 {
 		return // cache hit: already tracked
 	}
@@ -252,7 +255,7 @@ func (t *Thread) txTouchRead(tx *txState, line int) {
 // transactional readers and writers of the line.
 func (t *Thread) txTouchWrite(tx *txState, line int) {
 	lm := t.m.Mem.LineByIndex(line)
-	bit := uint64(1) << uint(t.ID)
+	bit := t.bit
 	if lm.Writers&bit != 0 {
 		return
 	}
@@ -331,20 +334,28 @@ func (m *Machine) requestLine(line int, req *Thread, isWrite bool) {
 // Load performs a simulated load of the word at address a. Inside a
 // transaction the line joins the read set; outside, the access dooms
 // conflicting transactional writers (requestor wins).
+//
+// The access paths below compute the line index exactly once per access and
+// thread it through the charge/touch/request helpers: the index math and
+// the repeated map probes this replaces were the simulator's hottest
+// instructions under profiling.
 func (t *Thread) Load(a mem.Addr) uint64 {
 	t.Step(t.m.cfg.Costs.Load)
-	t.chargeAccess(a)
+	line := int(a >> mem.LineShift)
+	t.chargeLine(line)
 	tx := t.tx
 	if tx == nil {
-		t.m.requestLine(mem.LineOf(a), t, false)
+		t.m.requestLine(line, t, false)
 		v := t.m.Mem.Read(a)
 		t.trace("load", a, v)
 		return v
 	}
 	t.txPreAccess(tx)
-	if v, ok := tx.writeBuf[a]; ok {
-		t.trace("load-buf", a, v)
-		return v
+	if len(tx.writeBuf) != 0 {
+		if v, ok := tx.writeBuf[a]; ok {
+			t.trace("load-buf", a, v)
+			return v
+		}
 	}
 	if tx.elided && a == tx.elidedAddr {
 		// HLE's illusion: the transaction sees the value its elided
@@ -352,11 +363,10 @@ func (t *Thread) Load(a mem.Addr) uint64 {
 		// lock line is not placed in the read set unless accessed as
 		// data, so this forwarding carries no conflict footprint.
 		if !t.m.cfg.HWExt {
-			t.txTouchRead(tx, mem.LineOf(a))
+			t.txTouchRead(tx, line)
 		}
 		return tx.elidedVal
 	}
-	line := mem.LineOf(a)
 	t.txTouchRead(tx, line)
 	v := t.m.Mem.Read(a)
 	t.trace("load-tx", a, v)
@@ -367,16 +377,17 @@ func (t *Thread) Load(a mem.Addr) uint64 {
 // are buffered and published at commit.
 func (t *Thread) Store(a mem.Addr, v uint64) {
 	t.Step(t.m.cfg.Costs.Store)
-	t.chargeAccess(a)
+	line := int(a >> mem.LineShift)
+	t.chargeLine(line)
 	tx := t.tx
 	if tx == nil {
 		t.trace("store", a, v)
-		t.m.requestLine(mem.LineOf(a), t, true)
+		t.m.requestLine(line, t, true)
 		t.m.Mem.Write(a, v)
 		return
 	}
 	t.txPreAccess(tx)
-	t.txTouchWrite(tx, mem.LineOf(a))
+	t.txTouchWrite(tx, line)
 	t.trace("store-tx", a, v)
 	tx.bufWrite(a, v)
 }
@@ -386,10 +397,11 @@ func (t *Thread) Store(a mem.Addr, v uint64) {
 // write request for the line.
 func (t *Thread) CAS(a mem.Addr, old, new uint64) bool {
 	t.Step(t.m.cfg.Costs.RMW)
-	t.chargeAccess(a)
+	line := int(a >> mem.LineShift)
+	t.chargeLine(line)
 	tx := t.tx
 	if tx == nil {
-		t.m.requestLine(mem.LineOf(a), t, true)
+		t.m.requestLine(line, t, true)
 		if t.m.Mem.Read(a) != old {
 			return false
 		}
@@ -398,7 +410,7 @@ func (t *Thread) CAS(a mem.Addr, old, new uint64) bool {
 	}
 	t.txPreAccess(tx)
 	cur := t.txLoadValue(tx, a)
-	t.txTouchWrite(tx, mem.LineOf(a))
+	t.txTouchWrite(tx, line)
 	if cur != old {
 		return false
 	}
@@ -409,18 +421,19 @@ func (t *Thread) CAS(a mem.Addr, old, new uint64) bool {
 // Swap atomically exchanges the word at a with v, returning the old value.
 func (t *Thread) Swap(a mem.Addr, v uint64) uint64 {
 	t.Step(t.m.cfg.Costs.RMW)
-	t.chargeAccess(a)
+	line := int(a >> mem.LineShift)
+	t.chargeLine(line)
 	tx := t.tx
 	if tx == nil {
 		t.trace("swap", a, v)
-		t.m.requestLine(mem.LineOf(a), t, true)
+		t.m.requestLine(line, t, true)
 		old := t.m.Mem.Read(a)
 		t.m.Mem.Write(a, v)
 		return old
 	}
 	t.txPreAccess(tx)
 	old := t.txLoadValue(tx, a)
-	t.txTouchWrite(tx, mem.LineOf(a))
+	t.txTouchWrite(tx, line)
 	tx.bufWrite(a, v)
 	return old
 }
@@ -429,17 +442,18 @@ func (t *Thread) Swap(a mem.Addr, v uint64) uint64 {
 // value.
 func (t *Thread) FetchAdd(a mem.Addr, delta uint64) uint64 {
 	t.Step(t.m.cfg.Costs.RMW)
-	t.chargeAccess(a)
+	line := int(a >> mem.LineShift)
+	t.chargeLine(line)
 	tx := t.tx
 	if tx == nil {
-		t.m.requestLine(mem.LineOf(a), t, true)
+		t.m.requestLine(line, t, true)
 		old := t.m.Mem.Read(a)
 		t.m.Mem.Write(a, old+delta)
 		return old
 	}
 	t.txPreAccess(tx)
 	old := t.txLoadValue(tx, a)
-	t.txTouchWrite(tx, mem.LineOf(a))
+	t.txTouchWrite(tx, line)
 	tx.bufWrite(a, old+delta)
 	return old
 }
@@ -453,49 +467,40 @@ func (t *Thread) Pause() {
 	}
 }
 
-// cacheKey distinguishes word allocations (positive) from padded line
-// allocations (negative), mirroring internal/mem's free-list keying.
-func cacheKey(n int, lines bool) int {
-	if lines {
-		return -((n + mem.LineWords - 1) &^ (mem.LineWords - 1))
-	}
-	return n
-}
-
-// cachePut returns a block to the thread-local allocator cache.
+// cachePut returns a block to the thread-local allocator cache. The block
+// was already checked live (by Thread.Free/FreeLines or by an aborted
+// allocation's rollback), so the push is unconditional.
 func (t *Thread) cachePut(r allocRec) {
 	if t.freeCache == nil {
-		t.freeCache = make(map[int][]mem.Addr)
+		t.freeCache = new(mem.FreeTable)
 	}
-	k := cacheKey(r.n, r.lines)
-	t.freeCache[k] = append(t.freeCache[k], r.addr)
+	t.freeCache.Push(r.n, r.lines, r.addr)
 }
 
 // cacheGet takes a block from the thread-local cache, or mem.Nil.
 func (t *Thread) cacheGet(n int, lines bool) mem.Addr {
-	k := cacheKey(n, lines)
-	fl := t.freeCache[k]
-	if len(fl) == 0 {
+	if t.freeCache == nil {
 		return mem.Nil
 	}
-	a := fl[len(fl)-1]
-	t.freeCache[k] = fl[:len(fl)-1]
+	a := t.freeCache.Pop(n, lines)
+	if a != mem.Nil {
+		t.m.Mem.NoteAlloc(a, n, lines)
+	}
 	return a
 }
 
 // flushFreeCache returns the thread cache to the global allocator; called
-// when the thread's body finishes so blocks survive across runs.
+// when the thread's body finishes so blocks survive across runs. The
+// blocks already passed their free-time debug checks, so they bypass them
+// here (Recycle, not Free).
 func (t *Thread) flushFreeCache() {
-	for k, fl := range t.freeCache {
-		for _, a := range fl {
-			if k < 0 {
-				t.m.Mem.FreeLines(a, -k)
-			} else {
-				t.m.Mem.Free(a, k)
-			}
-		}
+	if t.freeCache == nil {
+		return
 	}
-	t.freeCache = nil
+	m := t.m.Mem
+	t.freeCache.Drain(func(n int, lines bool, a mem.Addr) {
+		m.Recycle(a, n, lines)
+	})
 }
 
 // Alloc allocates n words of simulated memory and zeroes them through the
@@ -536,13 +541,16 @@ func (t *Thread) AllocLines(n int) mem.Addr {
 }
 
 // Free releases an Alloc-obtained block into the thread cache. Inside a
-// transaction the free is deferred to commit and dropped on abort.
+// transaction the free is deferred to commit and dropped on abort. In
+// mem.DebugChecks mode, freeing an AllocLines block here panics (at commit
+// time for transactional frees).
 func (t *Thread) Free(a mem.Addr, n int) {
 	t.Step(allocCost)
 	if t.tx != nil {
 		t.tx.frees = append(t.tx.frees, allocRec{a, n, false})
 		return
 	}
+	t.m.Mem.CheckFree(a, n, false)
 	t.cachePut(allocRec{a, n, false})
 }
 
@@ -553,5 +561,6 @@ func (t *Thread) FreeLines(a mem.Addr, n int) {
 		t.tx.frees = append(t.tx.frees, allocRec{a, n, true})
 		return
 	}
+	t.m.Mem.CheckFree(a, n, true)
 	t.cachePut(allocRec{a, n, true})
 }
