@@ -60,6 +60,7 @@ func BenchmarkWorkloadProfiles(b *testing.B)             { benchFigure(b, "profi
 func BenchmarkExtScaling(b *testing.B)                   { benchFigure(b, "ext-scale") }
 func BenchmarkExtCSLength(b *testing.B)                  { benchFigure(b, "ext-cslen") }
 func BenchmarkExtSTAMP(b *testing.B)                     { benchFigure(b, "ext-stamp") }
+func BenchmarkExtChaos(b *testing.B)                     { benchFigure(b, "ext-chaos") }
 
 // BenchmarkFig5_4_STAMP runs one STAMP application per scheme pair per
 // iteration (the full 7×6×2 matrix lives behind `hle-bench -fig 5.4`),

@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"hle/internal/figures"
@@ -129,7 +130,12 @@ func main() {
 	case *figID != "":
 		f := figures.ByID(*figID)
 		if f == nil {
-			fmt.Fprintf(os.Stderr, "hle-bench: unknown figure %q (try -list)\n", *figID)
+			ids := make([]string, 0, len(figures.All()))
+			for _, f := range figures.All() {
+				ids = append(ids, f.ID)
+			}
+			fmt.Fprintf(os.Stderr, "hle-bench: unknown figure %q; valid ids: %s\n",
+				*figID, strings.Join(ids, ", "))
 			os.Exit(1)
 		}
 		fmt.Printf("### Figure %s — %s\n\n", f.ID, f.Title)

@@ -1,0 +1,266 @@
+// Package chaos is a deterministic, seed-driven fault-injection engine for
+// the elision stack. It schedules faults at virtual-cycle deadlines and
+// fires them through the injection hooks of internal/tsx and internal/sim:
+// spurious-abort storms (optionally targeted at one cache line), transient
+// write-set capacity squeezes, lock-holder preemption, scheduler-grant
+// skew, and holder stalls. Every decision is a pure function of the
+// simulated state presented to the hooks plus the engine's own one-shot
+// bookkeeping, so a (seed, schedule) pair replays byte-identically —
+// adversarial interleavings found once can be reproduced forever.
+//
+// The paper's robustness claims (Chapter 4: SCM is livelock- and
+// starvation-free under adversarial conflict patterns) are exactly the
+// properties these faults attack; the soak harness (RunSoak) pairs the
+// engine with the liveness watchdogs of internal/harness and the
+// serializability checker of internal/check.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind enumerates fault types.
+type Kind uint8
+
+const (
+	// SpuriousStorm aborts every matching transactional access in the
+	// fault window — a burst of the spurious aborts §2.2 observes, aimed
+	// at a thread and/or line. Arg is unused.
+	SpuriousStorm Kind = iota
+	// CapacitySqueeze clamps the effective write-set capacity to Arg
+	// lines inside the window, modeling a sibling hyperthread evicting
+	// L1 ways mid-transaction.
+	CapacitySqueeze
+	// Preempt stalls the target thread for Arg cycles at its first
+	// transactional access at or after At — the OS preempting a thread
+	// mid-critical-section. One-shot.
+	Preempt
+	// GrantSkew multiplies scheduler grant slices by Arg percent inside
+	// the window, starving (Arg < 100) or favoring (Arg > 100) the
+	// target thread's share of fine-grained interleavings.
+	GrantSkew
+	// HolderStall stalls the target thread for Arg cycles at its first
+	// non-transactional write at or after At. Non-transactional writes
+	// during measurement are lock-word operations (real acquisitions and
+	// releases), so this models a main- or aux-lock holder losing its
+	// processor while every speculative thread subscribes to that lock.
+	// One-shot.
+	HolderStall
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SpuriousStorm:
+		return "spurious-storm"
+	case CapacitySqueeze:
+		return "capacity-squeeze"
+	case Preempt:
+		return "preempt"
+	case GrantSkew:
+		return "grant-skew"
+	case HolderStall:
+		return "holder-stall"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind Kind
+	// At is the virtual cycle at which the fault arms.
+	At uint64
+	// Until ends the window for windowed kinds (SpuriousStorm,
+	// CapacitySqueeze, GrantSkew); 0 means the window never closes.
+	// One-shot kinds (Preempt, HolderStall) ignore it.
+	Until uint64
+	// Proc targets one thread; -1 matches any.
+	Proc int
+	// Line targets one cache line (SpuriousStorm only); -1 matches any.
+	Line int
+	// Arg is the kind-specific magnitude (cycles, lines, or percent).
+	Arg uint64
+}
+
+func (f Fault) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%d", f.Kind, f.At)
+	if f.Until != 0 {
+		fmt.Fprintf(&b, "-%d", f.Until)
+	}
+	if f.Proc >= 0 {
+		fmt.Fprintf(&b, " proc=%d", f.Proc)
+	}
+	if f.Line >= 0 {
+		fmt.Fprintf(&b, " line=%d", f.Line)
+	}
+	if f.Arg != 0 {
+		fmt.Fprintf(&b, " arg=%d", f.Arg)
+	}
+	return b.String()
+}
+
+// inWindow reports whether clock falls in the fault's window.
+func (f *Fault) inWindow(clock uint64) bool {
+	return clock >= f.At && (f.Until == 0 || clock < f.Until)
+}
+
+// matchesProc reports whether the fault targets thread id.
+func (f *Fault) matchesProc(id int) bool { return f.Proc < 0 || f.Proc == id }
+
+// Counters tallies what the engine actually injected during a run.
+type Counters struct {
+	Aborts   int    // injected spurious aborts
+	Stalls   int    // injected stalls (preempt + holder)
+	StallCyc uint64 // total stalled cycles
+	Squeezes int    // accesses that saw a squeezed write cap
+	Skews    int    // grants that saw a skewed slice
+}
+
+// Engine executes a fault schedule. It implements tsx.Injector; install it
+// with tsx.Machine.SetInjector. An Engine belongs to one machine: its
+// one-shot state advances with that machine's token-serialized execution.
+type Engine struct {
+	faults []Fault
+	fired  []bool // one-shot kinds: fault already delivered
+	n      Counters
+}
+
+// New builds an engine for the given schedule. An empty schedule is legal
+// and injects nothing (useful for zero-cost-when-armed checks).
+func New(faults ...Fault) *Engine {
+	return &Engine{faults: faults, fired: make([]bool, len(faults))}
+}
+
+// Reset clears one-shot state and counters so the engine can drive another
+// run of the same schedule.
+func (e *Engine) Reset() {
+	clear(e.fired)
+	e.n = Counters{}
+}
+
+// Counters returns what was injected since the last Reset.
+func (e *Engine) Counters() Counters { return e.n }
+
+// Schedule returns the engine's fault list.
+func (e *Engine) Schedule() []Fault { return append([]Fault(nil), e.faults...) }
+
+// String renders the schedule compactly (for watchdog dump contexts).
+func (e *Engine) String() string {
+	if len(e.faults) == 0 {
+		return "no faults"
+	}
+	parts := make([]string, len(e.faults))
+	for i, f := range e.faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Access implements tsx.Injector.
+func (e *Engine) Access(id int, clock uint64, line int, write, inTx bool) (stall uint64, abort bool) {
+	for i := range e.faults {
+		f := &e.faults[i]
+		switch f.Kind {
+		case SpuriousStorm:
+			if inTx && !abort && f.inWindow(clock) && f.matchesProc(id) &&
+				(f.Line < 0 || f.Line == line) {
+				abort = true
+				e.n.Aborts++
+			}
+		case Preempt:
+			if inTx && !e.fired[i] && clock >= f.At && f.matchesProc(id) {
+				e.fired[i] = true
+				stall += f.Arg
+				e.n.Stalls++
+				e.n.StallCyc += f.Arg
+			}
+		case HolderStall:
+			if !inTx && write && !e.fired[i] && clock >= f.At && f.matchesProc(id) {
+				e.fired[i] = true
+				stall += f.Arg
+				e.n.Stalls++
+				e.n.StallCyc += f.Arg
+			}
+		}
+	}
+	return stall, abort
+}
+
+// WriteCap implements tsx.Injector.
+func (e *Engine) WriteCap(id int, clock uint64, limit int) int {
+	for i := range e.faults {
+		f := &e.faults[i]
+		if f.Kind != CapacitySqueeze || !f.inWindow(clock) || !f.matchesProc(id) {
+			continue
+		}
+		if squeezed := int(f.Arg); squeezed >= 1 && squeezed < limit {
+			limit = squeezed
+			e.n.Squeezes++
+		}
+	}
+	return limit
+}
+
+// Grant implements tsx.Injector.
+func (e *Engine) Grant(id int, clock, slice uint64) uint64 {
+	for i := range e.faults {
+		f := &e.faults[i]
+		if f.Kind != GrantSkew || !f.inWindow(clock) || !f.matchesProc(id) {
+			continue
+		}
+		slice = slice * f.Arg / 100
+		if slice == 0 {
+			slice = 1
+		}
+		e.n.Skews++
+	}
+	return slice
+}
+
+// RandomSchedule draws n faults over a run of the given horizon (virtual
+// cycles) and thread count, deterministically from seed. Windows and stall
+// lengths are bounded (windows at horizon/4, stalls at horizon/8) so that
+// any scheme with a non-speculative fallback can always make progress
+// after the schedule drains — random schedules probe robustness, they
+// never manufacture a fault that no correct scheme could survive.
+func RandomSchedule(seed int64, procs int, horizon uint64, n int) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	if horizon < 8 {
+		horizon = 8
+	}
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		at := uint64(rng.Int63n(int64(horizon)))
+		window := 1 + uint64(rng.Int63n(int64(horizon/4)))
+		f := Fault{At: at, Until: at + window, Proc: -1, Line: -1}
+		if rng.Intn(2) == 0 {
+			f.Proc = rng.Intn(procs)
+		}
+		switch Kind(rng.Intn(5)) {
+		case SpuriousStorm:
+			f.Kind = SpuriousStorm
+			// Unbounded storms against every thread would be a
+			// livelock by construction; keep the window.
+		case CapacitySqueeze:
+			f.Kind = CapacitySqueeze
+			f.Arg = 1 + uint64(rng.Intn(8))
+		case Preempt:
+			f.Kind = Preempt
+			f.Until = 0
+			f.Arg = 1 + uint64(rng.Int63n(int64(horizon/8)))
+		case GrantSkew:
+			f.Kind = GrantSkew
+			skews := []uint64{10, 25, 50, 200, 400}
+			f.Arg = skews[rng.Intn(len(skews))]
+		case HolderStall:
+			f.Kind = HolderStall
+			f.Until = 0
+			f.Arg = 1 + uint64(rng.Int63n(int64(horizon/8)))
+		}
+		faults = append(faults, f)
+	}
+	return faults
+}

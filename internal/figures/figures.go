@@ -99,6 +99,7 @@ func All() []Figure {
 		{"ext-scale", "Extension: scaling beyond the paper's 8 threads", ExtScaling},
 		{"ext-cslen", "Extension: critical-section length sensitivity", ExtCSLength},
 		{"ext-stamp", "Extension: capacity-bound STAMP workload (labyrinth)", ExtStamp},
+		{"ext-chaos", "Extension: chaos soak — fault injection under watchdogs, serializability-checked", ExtChaos},
 	}
 }
 

@@ -70,6 +70,11 @@ type Config struct {
 	// SliceCycles enables time-sliced collection (Figure 3.3) when
 	// non-zero. The timeline covers the whole run including warmup.
 	SliceCycles uint64
+	// Watchdog, when non-nil, arms liveness detection: a starving or
+	// livelocked (or, with a Monitor, deadlocked) run is stopped and
+	// reported as Result.Failure instead of hanging. Nil keeps the run
+	// byte-identical to a watchdog-free build.
+	Watchdog *WatchdogConfig
 }
 
 // Result is the outcome of one measurement run.
@@ -84,6 +89,11 @@ type Result struct {
 	TSX tsx.Stats
 	// Timeline is the per-slot series (nil unless SliceCycles was set).
 	Timeline *stats.Timeline
+	// Failure is the watchdog diagnostic when the run was stopped for a
+	// liveness violation (nil otherwise; always nil without a watchdog).
+	// A failed run's other fields cover only the progress made before the
+	// stop, and the machine's simulated state is torn — diagnostics only.
+	Failure *Failure
 }
 
 // Run executes the workload under scheme on machine m.
@@ -96,6 +106,12 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 		timeline = stats.NewTimeline(cfg.SliceCycles)
 	}
 	end := cfg.Warmup + cfg.CycleBudget
+	var wd *Watchdog
+	if cfg.Watchdog != nil {
+		wd = NewWatchdog(*cfg.Watchdog, cfg.Threads)
+		m.SetWatchdog(wd.Check)
+		defer m.SetWatchdog(nil)
+	}
 	var res Result
 	threads := m.Run(cfg.Threads, func(t *tsx.Thread) {
 		scheme.Setup(t)
@@ -108,6 +124,9 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 			r := scheme.Run(t, cs)
 			// Shared state is safe: simulated execution is
 			// token-serialized.
+			if wd != nil {
+				wd.NoteOp(t.ID, t.Clock())
+			}
 			if timeline != nil {
 				timeline.Record(t.Clock(), r.Spec)
 			}
@@ -121,7 +140,13 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 				}
 			}
 		}
+		if wd != nil {
+			wd.NoteDone(t.ID)
+		}
 	})
+	if wd != nil && m.Stopped() {
+		res.Failure = wd.Failure(m, threads)
+	}
 	for _, t := range threads {
 		res.TSX.Add(t.Stats)
 		if t.Clock() > res.MaxClock {
@@ -144,6 +169,12 @@ type SchemeSpec struct {
 	// Lock is a locks.MakerByName name: TTAS, MCS, Ticket, AdjTicket,
 	// CLH, AdjCLH. Ignored by NoLock.
 	Lock string
+	// Monitor, when non-nil, wraps the scheme's locks (main and
+	// auxiliary) with locks.Monitored so their non-speculative
+	// transitions feed a waits-for graph — pair it with
+	// WatchdogConfig.Monitor for deadlock detection. Wrapping performs
+	// no simulated accesses, so it never changes the simulated run.
+	Monitor *locks.Monitor
 }
 
 // String renders "Scheme/Lock".
@@ -167,6 +198,11 @@ func (s SchemeSpec) Build(t *tsx.Thread) core.Scheme {
 	}
 	main := mk(t)
 	aux := func() locks.Lock { return locks.NewMCS(t) }
+	if s.Monitor != nil {
+		main = locks.Monitored(main, s.Monitor)
+		inner := aux
+		aux = func() locks.Lock { return locks.Monitored(inner(), s.Monitor) }
+	}
 	switch s.Scheme {
 	case "Standard":
 		return core.NewStandard(main)

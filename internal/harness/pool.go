@@ -85,6 +85,15 @@ func (p PointSpec) Run() Result {
 		acc.MaxClock += res.MaxClock
 		acc.Throughput += res.Throughput
 		acc.Timeline = res.Timeline
+		if res.Failure != nil {
+			// A watchdog stop leaves the machine torn; keep the first
+			// failure and skip the remaining repetitions.
+			if acc.Failure == nil {
+				acc.Failure = res.Failure
+			}
+			runs = r + 1
+			break
+		}
 	}
 	acc.MaxClock /= uint64(runs)
 	acc.Throughput /= float64(runs)

@@ -31,6 +31,21 @@ type Config struct {
 	// values interleave more finely at higher simulation cost.
 	// Zero selects DefaultQuantum.
 	Quantum uint64
+
+	// Grant, when non-nil, adjusts the randomized grant slice before it is
+	// handed to a proc — the fault-injection point for scheduler-grant
+	// skew. It runs after the scheduler's own random draw, so a nil Grant
+	// and an identity Grant produce byte-identical schedules.
+	Grant func(procID int, clock, slice uint64) uint64
+
+	// Watchdog, when non-nil, is consulted before every grant with the
+	// about-to-run proc's clock (the minimum clock in the machine).
+	// Returning true stops the simulation: every remaining proc unwinds
+	// at its next Step and Run returns normally with those procs marked
+	// Stopped. The liveness watchdogs in internal/harness use this to
+	// degrade a livelocked or deadlocked run into a diagnostic result
+	// instead of a hang.
+	Watchdog func(minClock uint64) bool
 }
 
 // DefaultQuantum is used when Config.Quantum is zero. It is small enough
@@ -43,11 +58,12 @@ type Proc struct {
 	// ID is the hardware thread index, in [0, Config.Procs).
 	ID int
 
-	clock  uint64
-	target uint64
-	grant  chan uint64
-	yield  chan yieldKind
-	rng    *rand.Rand
+	clock   uint64
+	target  uint64
+	grant   chan grantMsg
+	yield   chan yieldKind
+	rng     *rand.Rand
+	stopped bool
 }
 
 type yieldKind uint8
@@ -57,11 +73,30 @@ const (
 	yieldDone
 )
 
+// grantMsg is what the scheduler hands a resuming proc: a new clock target,
+// or a stop order that unwinds the proc's body.
+type grantMsg struct {
+	target uint64
+	stop   bool
+}
+
+// stopSignal is the panic value that unwinds a proc's body when the
+// scheduler stops the simulation. It deliberately does not implement error:
+// transaction-rollback recovers (internal/tsx) re-raise everything that is
+// not their own sentinel, so the signal always reaches the proc wrapper.
+type stopSignal struct{}
+
 // Clock returns the proc's current virtual time in cycles.
 func (p *Proc) Clock() uint64 { return p.clock }
 
 // Rand returns the proc's deterministic random source.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Stopped reports whether the proc was unwound by a watchdog stop rather
+// than returning from its body. A stopped proc's body did not finish: its
+// upper-layer state (open transactions, held locks) is torn and only good
+// for diagnostics.
+func (p *Proc) Stopped() bool { return p.stopped }
 
 // Step advances the proc's virtual clock by cost cycles, yielding to the
 // scheduler if the proc has run ahead of its peers. Every simulated memory
@@ -70,8 +105,18 @@ func (p *Proc) Step(cost uint64) {
 	p.clock += cost
 	if p.clock >= p.target {
 		p.yield <- yieldRunning
-		p.target = <-p.grant
+		p.target = p.recvGrant()
 	}
+}
+
+// recvGrant blocks for the next grant, unwinding the proc on a stop order.
+func (p *Proc) recvGrant() uint64 {
+	g := <-p.grant
+	if g.stop {
+		p.stopped = true
+		panic(stopSignal{})
+	}
+	return g.target
 }
 
 // Run simulates n procs, each executing body, and returns when all bodies
@@ -93,7 +138,7 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 	for i := range procs {
 		procs[i] = &Proc{
 			ID:    i,
-			grant: make(chan uint64),
+			grant: make(chan grantMsg),
 			yield: make(chan yieldKind),
 			rng:   rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7919 + 1)),
 		}
@@ -102,11 +147,13 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 		go func(i int, p *Proc) {
 			defer func() {
 				if r := recover(); r != nil {
-					panics[i] = r
+					if _, isStop := r.(stopSignal); !isStop {
+						panics[i] = r
+					}
 					p.yield <- yieldDone
 				}
 			}()
-			p.target = <-p.grant
+			p.target = p.recvGrant()
 			body(p)
 			p.yield <- yieldDone
 		}(i, p)
@@ -121,6 +168,7 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 
 	running := make([]*Proc, len(procs))
 	copy(running, procs)
+	stopping := false
 	for len(running) > 0 {
 		// Pick the minimum-clock proc; find the runner-up clock to set
 		// the grant target.
@@ -130,21 +178,45 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 				minIdx = i + 1
 			}
 		}
-		target := ^uint64(0)
-		if len(running) > 1 {
+		p := running[minIdx]
+		if !stopping && cfg.Watchdog != nil && cfg.Watchdog(p.clock) {
+			stopping = true
+		}
+		var msg grantMsg
+		if stopping {
+			msg.stop = true
+		} else {
 			second := ^uint64(0)
-			for i, p := range running {
-				if i != minIdx && p.clock < second {
-					second = p.clock
+			if len(running) > 1 {
+				for i, q := range running {
+					if i != minIdx && q.clock < second {
+						second = q.clock
+					}
 				}
 			}
-			slice := 1 + uint64(schedRng.Int63n(int64(quantum)))
-			if second < ^uint64(0)-slice {
-				target = second + slice
+			target := ^uint64(0)
+			// A sole remaining proc normally gets an unbounded grant, but
+			// with a watchdog armed every grant must be finite or a
+			// livelocked last proc would never yield the token back.
+			if second != ^uint64(0) || cfg.Watchdog != nil {
+				slice := 1 + uint64(schedRng.Int63n(int64(quantum)))
+				if cfg.Grant != nil {
+					slice = cfg.Grant(p.ID, p.clock, slice)
+					if slice == 0 {
+						slice = 1
+					}
+				}
+				base := second
+				if base == ^uint64(0) {
+					base = p.clock
+				}
+				if base < ^uint64(0)-slice {
+					target = base + slice
+				}
 			}
+			msg.target = target
 		}
-		p := running[minIdx]
-		p.grant <- target
+		p.grant <- msg
 		if <-p.yield == yieldDone {
 			running[minIdx] = running[len(running)-1]
 			running = running[:len(running)-1]

@@ -179,3 +179,115 @@ func TestUnevenFinish(t *testing.T) {
 		}
 	}
 }
+
+// TestWatchdogStopsLivelockedRun: procs that would spin forever must unwind
+// when the watchdog trips, and Run must return with them marked Stopped.
+func TestWatchdogStopsLivelockedRun(t *testing.T) {
+	var trips int
+	procs := Run(Config{Seed: 3, Watchdog: func(minClock uint64) bool {
+		if minClock > 10_000 {
+			trips++
+			return true
+		}
+		return false
+	}}, 4, func(p *Proc) {
+		for { // livelock: spin forever
+			p.Step(5)
+		}
+	})
+	for _, p := range procs {
+		if !p.Stopped() {
+			t.Errorf("proc %d not marked stopped", p.ID)
+		}
+	}
+	if trips != 1 {
+		t.Errorf("watchdog consulted after tripping: %d trips", trips)
+	}
+}
+
+// TestWatchdogStopSparesFinishedProcs: a proc whose body already returned
+// is not marked stopped.
+func TestWatchdogStopSparesFinishedProcs(t *testing.T) {
+	procs := Run(Config{Seed: 3, Watchdog: func(minClock uint64) bool {
+		return minClock > 1_000
+	}}, 2, func(p *Proc) {
+		if p.ID == 0 {
+			p.Step(1)
+			return
+		}
+		for {
+			p.Step(5)
+		}
+	})
+	if procs[0].Stopped() {
+		t.Error("finished proc 0 marked stopped")
+	}
+	if !procs[1].Stopped() {
+		t.Error("spinning proc 1 not marked stopped")
+	}
+}
+
+// TestWatchdogNeverTrippingIsInvisible: an armed watchdog that never trips
+// must not change the schedule.
+func TestWatchdogNeverTrippingIsInvisible(t *testing.T) {
+	run := func(cfg Config) []uint64 {
+		clocks := make([]uint64, 3)
+		Run(cfg, 3, func(p *Proc) {
+			for i := 0; i < 500; i++ {
+				p.Step(uint64(1 + (i+p.ID)%7))
+			}
+			clocks[p.ID] = p.Clock()
+		})
+		return clocks
+	}
+	plain := run(Config{Seed: 11})
+	armed := run(Config{Seed: 11, Watchdog: func(uint64) bool { return false }})
+	for i := range plain {
+		if plain[i] != armed[i] {
+			t.Errorf("proc %d clock differs with inert watchdog: %d vs %d", i, plain[i], armed[i])
+		}
+	}
+}
+
+// TestIdentityGrantHookIsInvisible: a Grant hook that returns the slice
+// unchanged must produce a byte-identical schedule, because the hook runs
+// after the scheduler's own random draw.
+func TestIdentityGrantHookIsInvisible(t *testing.T) {
+	run := func(cfg Config) []uint64 {
+		clocks := make([]uint64, 3)
+		Run(cfg, 3, func(p *Proc) {
+			for i := 0; i < 500; i++ {
+				p.Step(uint64(1 + (i*3+p.ID)%5))
+			}
+			clocks[p.ID] = p.Clock()
+		})
+		return clocks
+	}
+	plain := run(Config{Seed: 7})
+	hooked := run(Config{Seed: 7, Grant: func(id int, clock, slice uint64) uint64 { return slice }})
+	for i := range plain {
+		if plain[i] != hooked[i] {
+			t.Errorf("proc %d clock differs with identity grant hook: %d vs %d", i, plain[i], hooked[i])
+		}
+	}
+}
+
+// TestGrantSkewChangesInterleaving: a skewing Grant hook is allowed to (and
+// here does) change the interleaving without breaking the simulation.
+func TestGrantSkewChangesInterleaving(t *testing.T) {
+	var order []int
+	Run(Config{Seed: 7, Grant: func(id int, clock, slice uint64) uint64 {
+		if id == 0 {
+			return 1 // proc 0 gets minimal grants
+		}
+		return slice * 4
+	}}, 2, func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			p.Step(3)
+			order = append(order, p.ID)
+		}
+	})
+	if len(order) != 100 {
+		t.Fatalf("expected 100 steps, got %d", len(order))
+	}
+}

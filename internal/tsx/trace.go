@@ -10,8 +10,76 @@ type TraceFunc func(threadID int, event string, addr mem.Addr, val uint64)
 // needed because simulated execution is token-serialized).
 var Trace TraceFunc
 
+// TraceEvent is one engine event captured by a machine's trace ring —
+// the bounded flight recorder behind watchdog diagnostic dumps
+// (Config.TraceRing). Unlike the global Trace hook it records the issuing
+// thread's virtual clock, and it additionally captures transaction
+// lifecycle events ("begin", "commit", "abort") and injected faults
+// ("inj-stall", "inj-abort").
+type TraceEvent struct {
+	Thread int
+	Clock  uint64
+	Event  string
+	Addr   mem.Addr
+	Val    uint64
+}
+
+// traceRing is a fixed-size flight recorder. It is written only from
+// simulated execution (token-serialized) and read only between Run calls,
+// so it needs no synchronization; each machine owns its own ring, so
+// host-parallel experiment points never share one.
+type traceRing struct {
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+func (r *traceRing) add(ev TraceEvent) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// events returns the recorded events oldest-first, as a copy.
+func (r *traceRing) events() []TraceEvent {
+	if !r.full {
+		return append([]TraceEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// TraceEvents returns a copy of the machine's trace ring, oldest event
+// first — the last Config.TraceRing engine events. It returns nil when the
+// ring is disabled. Call it between Run calls (typically after a watchdog
+// stop) — never while the machine is running.
+func (m *Machine) TraceEvents() []TraceEvent {
+	if m.ring == nil {
+		return nil
+	}
+	return m.ring.events()
+}
+
+// trace reports an event to the global Trace hook and the machine's ring.
 func (t *Thread) trace(event string, addr mem.Addr, val uint64) {
 	if Trace != nil {
 		Trace(t.ID, event, addr, val)
+	}
+	if r := t.m.ring; r != nil {
+		r.add(TraceEvent{Thread: t.ID, Clock: t.Clock(), Event: event, Addr: addr, Val: val})
+	}
+}
+
+// ringAdd reports an event to the machine's ring only. Lifecycle and
+// injection events use it so that enabling a ring does not change what
+// existing global-Trace consumers (cmd/hle-trace, tests) observe.
+func (t *Thread) ringAdd(event string, addr mem.Addr, val uint64) {
+	if r := t.m.ring; r != nil {
+		r.add(TraceEvent{Thread: t.ID, Clock: t.Clock(), Event: event, Addr: addr, Val: val})
 	}
 }

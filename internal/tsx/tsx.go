@@ -110,6 +110,19 @@ type Config struct {
 	// the default (0.5).
 	CostJitter float64
 
+	// TraceRing, when positive, sizes a per-machine flight recorder that
+	// keeps the last TraceRing engine events (see Machine.TraceEvents).
+	// Watchdog diagnostic dumps read it; zero disables it. Unlike the
+	// global Trace hook, each machine owns its ring, so host-parallel
+	// experiment points may record concurrently.
+	TraceRing int
+
+	// Injector, when non-nil, is consulted on the engine's hot paths for
+	// deterministic fault injection (see Injector). Nil injects nothing
+	// and leaves runs byte-identical to a hook-free build. Clone drops
+	// the injector: a cloned machine starts fault-free.
+	Injector Injector
+
 	// NestHLEInRTM, when true, lets an XACQUIRE inside an RTM
 	// transaction start lock elision (Algorithm 3 verbatim). Haswell
 	// does not support this — the paper's experiments emulate elision
@@ -146,6 +159,13 @@ type Machine struct {
 	cfg     Config
 	Mem     *mem.Memory
 	threads []*Thread
+
+	// ring is the flight recorder (nil unless Config.TraceRing > 0).
+	ring *traceRing
+	// watchdog is the liveness check installed via SetWatchdog.
+	watchdog func(minClock uint64) bool
+	// stopped records whether the previous Run was watchdog-stopped.
+	stopped bool
 
 	// logOneMinusP caches log1p(-SpuriousPerAccess) for the per-begin
 	// geometric draw.
@@ -191,6 +211,9 @@ func NewMachine(cfg Config) *Machine {
 		cfg: cfg,
 		Mem: mem.New(cfg.MemWords),
 	}
+	if cfg.TraceRing > 0 {
+		m.ring = &traceRing{buf: make([]TraceEvent, cfg.TraceRing)}
+	}
 	if cfg.SpuriousPerAccess > 0 {
 		m.logOneMinusP = math.Log1p(-cfg.SpuriousPerAccess)
 	}
@@ -210,11 +233,19 @@ func (m *Machine) Clone() *Machine {
 	if m.threads != nil {
 		panic("tsx: Clone while the machine is running")
 	}
-	return &Machine{
+	c := &Machine{
 		cfg:          m.cfg,
 		Mem:          mem.FromSnapshot(m.Mem.Snapshot()),
 		logOneMinusP: m.logOneMinusP,
 	}
+	// Clones start fault-free with an empty flight recorder of their own:
+	// injectors and watchdogs are per-experiment, not part of the machine
+	// image, and a shared ring would race under the host-parallel pool.
+	c.cfg.Injector = nil
+	if c.cfg.TraceRing > 0 {
+		c.ring = &traceRing{buf: make([]TraceEvent, c.cfg.TraceRing)}
+	}
+	return c
 }
 
 // Reseed changes the seed that drives the scheduler and per-thread RNG
@@ -236,7 +267,12 @@ func (m *Machine) Run(n int, body func(t *Thread)) []*Thread {
 		panic("tsx: Run requires 1..64 threads (line metadata is a 64-bit mask)")
 	}
 	m.threads = make([]*Thread, n)
+	m.stopped = false
 	simCfg := sim.Config{Procs: n, Seed: m.cfg.Seed, Quantum: m.cfg.Quantum}
+	if inj := m.cfg.Injector; inj != nil {
+		simCfg.Grant = inj.Grant
+	}
+	simCfg.Watchdog = m.watchdog
 	sim.Run(simCfg, n, func(p *sim.Proc) {
 		t := &Thread{Proc: p, m: m, bit: 1 << uint(p.ID), jitterState: uint64(m.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(p.ID+1)*0xbf58476d1ce4e5b9}
 		if m.cfg.CacheLines > 0 {
@@ -251,6 +287,12 @@ func (m *Machine) Run(n int, body func(t *Thread)) []*Thread {
 	})
 	threads := m.threads
 	m.threads = nil
+	for _, t := range threads {
+		if t != nil && t.Stopped() {
+			m.stopped = true
+			break
+		}
+	}
 	return threads
 }
 

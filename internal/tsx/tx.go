@@ -92,6 +92,7 @@ func (t *Thread) beginTx() *txState {
 	tx.evictAt = t.m.cfg.L1ReadLines
 	t.tx = tx
 	t.Stats.Begun++
+	t.ringAdd("begin", mem.Nil, 0)
 	return tx
 }
 
@@ -147,6 +148,7 @@ func (t *Thread) finishAbort() Status {
 	t.clearLineBits(tx)
 	t.tx = nil
 	t.Stats.Aborted[tx.abortCause]++
+	t.ringAdd("abort", mem.LineAddr(tx.conflictLine), uint64(tx.abortCause))
 	t.Step(t.m.cfg.Costs.Abort)
 	return statusFor(tx)
 }
@@ -168,6 +170,7 @@ func (t *Thread) commit() {
 	}
 	t.clearLineBits(tx)
 	t.tx = nil
+	t.ringAdd("commit", mem.Nil, uint64(tx.accesses))
 	t.Stats.Committed++
 	t.Stats.CommittedReadLines += uint64(len(tx.readLines))
 	t.Stats.CommittedWriteLines += uint64(len(tx.writeLines))
@@ -266,7 +269,16 @@ func (t *Thread) txTouchWrite(tx *txState, line int) {
 	// a non-speculative critical section that read the same line — a lost
 	// update.)
 	t.hwextMissCheck(tx)
-	if len(tx.writeLines) >= t.m.cfg.WriteSetLines {
+	limit := t.m.cfg.WriteSetLines
+	if inj := t.m.cfg.Injector; inj != nil {
+		// A transient capacity squeeze (e.g. a sibling hyperthread
+		// evicting L1 ways) lowers the effective write-set limit.
+		limit = inj.WriteCap(t.ID, t.Clock(), limit)
+		if limit < 1 {
+			limit = 1
+		}
+	}
+	if len(tx.writeLines) >= limit {
 		t.abortNow(CauseCapacityWrite, 0)
 	}
 	t.m.requestLine(line, t, true)
@@ -309,8 +321,13 @@ func (m *Machine) requestLine(line int, req *Thread, isWrite bool) {
 	if isWrite {
 		victims |= lm.Readers
 	}
-	if Trace != nil && req != nil {
-		Trace(req.ID, "reqline", mem.LineAddr(line), victims)
+	if req != nil {
+		if Trace != nil {
+			Trace(req.ID, "reqline", mem.LineAddr(line), victims)
+		}
+		if m.ring != nil {
+			m.ring.add(TraceEvent{Thread: req.ID, Clock: req.Clock(), Event: "reqline", Addr: mem.LineAddr(line), Val: victims})
+		}
 	}
 	if req != nil {
 		victims &^= uint64(1) << uint(req.ID)
@@ -328,6 +345,9 @@ func (m *Machine) requestLine(line int, req *Thread, isWrite bool) {
 		if Trace != nil {
 			Trace(v.ID, "doomed", mem.LineAddr(line), 0)
 		}
+		if m.ring != nil {
+			m.ring.add(TraceEvent{Thread: v.ID, Clock: v.Clock(), Event: "doomed", Addr: mem.LineAddr(line), Val: 0})
+		}
 	}
 }
 
@@ -343,6 +363,7 @@ func (t *Thread) Load(a mem.Addr) uint64 {
 	t.Step(t.m.cfg.Costs.Load)
 	line := int(a >> mem.LineShift)
 	t.chargeLine(line)
+	t.inject(line, false)
 	tx := t.tx
 	if tx == nil {
 		t.m.requestLine(line, t, false)
@@ -379,6 +400,7 @@ func (t *Thread) Store(a mem.Addr, v uint64) {
 	t.Step(t.m.cfg.Costs.Store)
 	line := int(a >> mem.LineShift)
 	t.chargeLine(line)
+	t.inject(line, true)
 	tx := t.tx
 	if tx == nil {
 		t.trace("store", a, v)
@@ -399,6 +421,7 @@ func (t *Thread) CAS(a mem.Addr, old, new uint64) bool {
 	t.Step(t.m.cfg.Costs.RMW)
 	line := int(a >> mem.LineShift)
 	t.chargeLine(line)
+	t.inject(line, true)
 	tx := t.tx
 	if tx == nil {
 		t.m.requestLine(line, t, true)
@@ -423,6 +446,7 @@ func (t *Thread) Swap(a mem.Addr, v uint64) uint64 {
 	t.Step(t.m.cfg.Costs.RMW)
 	line := int(a >> mem.LineShift)
 	t.chargeLine(line)
+	t.inject(line, true)
 	tx := t.tx
 	if tx == nil {
 		t.trace("swap", a, v)
@@ -444,6 +468,7 @@ func (t *Thread) FetchAdd(a mem.Addr, delta uint64) uint64 {
 	t.Step(t.m.cfg.Costs.RMW)
 	line := int(a >> mem.LineShift)
 	t.chargeLine(line)
+	t.inject(line, true)
 	tx := t.tx
 	if tx == nil {
 		t.m.requestLine(line, t, true)
