@@ -20,14 +20,17 @@ import (
 
 	"hle/internal/figures"
 	"hle/internal/harness"
+	"hle/internal/sim"
 	"hle/internal/stats"
 )
 
 // figTiming is one per-figure record of the -timing report.
 type figTiming struct {
-	ID      string  `json:"id"`
-	Seconds float64 `json:"seconds"`
-	Points  uint64  `json:"points"`
+	ID           string  `json:"id"`
+	Seconds      float64 `json:"seconds"`
+	Points       uint64  `json:"points"`
+	Grants       uint64  `json:"grants"`
+	GrantsPerSec float64 `json:"grants_per_sec"`
 }
 
 // timingReport is the -timing output: the run's configuration and the
@@ -103,17 +106,27 @@ func main() {
 		Quick:    *quick,
 		Seed:     *seed,
 	}
-	// timeFigure runs one generator, records its wall clock and how many
-	// experiment points it executed, and returns its tables.
+	// timeFigure runs one generator, records its wall clock, how many
+	// experiment points it executed, and its scheduler-grant throughput
+	// (grants/sec is the simulator's unit of useful work — each grant is
+	// one token handoff plus the simulated execution it admits), and
+	// returns its tables.
 	timeFigure := func(f figures.Figure) []*stats.Table {
-		before := harness.PointsRun()
+		beforePoints := harness.PointsRun()
+		beforeGrants := sim.Grants()
 		start := time.Now()
 		tables := f.Run(opts)
-		report.Figures = append(report.Figures, figTiming{
+		secs := time.Since(start).Seconds()
+		ft := figTiming{
 			ID:      f.ID,
-			Seconds: time.Since(start).Seconds(),
-			Points:  harness.PointsRun() - before,
-		})
+			Seconds: secs,
+			Points:  harness.PointsRun() - beforePoints,
+			Grants:  sim.Grants() - beforeGrants,
+		}
+		if secs > 0 {
+			ft.GrantsPerSec = float64(ft.Grants) / secs
+		}
+		report.Figures = append(report.Figures, ft)
 		return tables
 	}
 

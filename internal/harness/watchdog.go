@@ -106,7 +106,7 @@ func (f *Failure) Dump() string {
 	if len(f.Events) > 0 {
 		fmt.Fprintf(&b, "last %d engine events:\n", len(f.Events))
 		for _, ev := range f.Events {
-			fmt.Fprintf(&b, "  T%d@%d %s addr=%d val=%d\n", ev.Thread, ev.Clock, ev.Event, ev.Addr, ev.Val)
+			fmt.Fprintf(&b, "  T%d@%d %s addr=%d val=%d\n", ev.Thread, ev.Clock, ev.Kind, ev.Addr, ev.Val)
 		}
 	}
 	return b.String()

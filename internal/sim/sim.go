@@ -3,11 +3,20 @@
 //
 // Simulated hardware threads ("procs") run as goroutines, but execution is
 // serialized through a scheduler token: at any instant exactly one proc is
-// running, and the scheduler always resumes the proc with the smallest
+// running, and the token always passes to the proc with the smallest
 // virtual clock. Each simulated memory access advances the issuing proc's
 // clock by the access cost, so virtual time behaves like parallel wall time
 // on a real machine, while the host needs only a single CPU and every run is
 // reproducible from a seed.
+//
+// Scheduling is direct handoff: there is no scheduler goroutine. The proc
+// that exhausts its grant runs the scheduling decision inline — one fused
+// min/runner-up clock scan, one RNG draw — and wakes the next proc itself,
+// so a yield costs a single goroutine switch instead of the two that a
+// round-trip through a central scheduler would. A sole remaining proc
+// re-grants itself with no synchronization at all. See DESIGN.md for why
+// this preserves byte-identical schedules with the central-scheduler
+// formulation it replaced.
 //
 // Upper layers (the TSX engine in internal/tsx) perform all shared-state
 // manipulation between a grant and the following yield, so they need no
@@ -17,6 +26,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Config describes the simulated machine.
@@ -60,21 +70,14 @@ type Proc struct {
 
 	clock   uint64
 	target  uint64
+	sched   *sched
 	grant   chan grantMsg
-	yield   chan yieldKind
 	rng     *rand.Rand
 	stopped bool
 }
 
-type yieldKind uint8
-
-const (
-	yieldRunning yieldKind = iota
-	yieldDone
-)
-
-// grantMsg is what the scheduler hands a resuming proc: a new clock target,
-// or a stop order that unwinds the proc's body.
+// grantMsg is what a proc receives when the token is handed to it: a new
+// clock target, or a stop order that unwinds the proc's body.
 type grantMsg struct {
 	target uint64
 	stop   bool
@@ -85,6 +88,119 @@ type grantMsg struct {
 // transaction-rollback recovers (internal/tsx) re-raise everything that is
 // not their own sentinel, so the signal always reaches the proc wrapper.
 type stopSignal struct{}
+
+// grantHook, when non-nil, observes every scheduler grant in issue order:
+// the granted proc, its new clock target, and whether the grant is a stop
+// order. It exists for the schedule-hash regression tests, which fingerprint
+// the exact grant sequence; production code must leave it nil.
+var grantHook func(procID int, target uint64, stop bool)
+
+// grantCount counts scheduler grants process-wide, flushed once per Run.
+// hle-bench reads it to report grants/sec alongside wall time.
+var grantCount atomic.Uint64
+
+// Grants returns the total number of scheduler grants issued by completed
+// Run calls in this process. The difference across a workload, divided by
+// its wall time, is the simulator's grant throughput.
+func Grants() uint64 { return grantCount.Load() }
+
+// sched is the shared scheduling state of one Run. It has no lock: only
+// the proc holding the token (or Run itself, before the first grant and
+// after the last proc finishes) touches it, and the token's channel
+// handoffs order those accesses.
+type sched struct {
+	quantum  uint64
+	grantFn  func(procID int, clock, slice uint64) uint64
+	watchdog func(minClock uint64) bool
+	rng      *rand.Rand
+	running  []*Proc
+	stopping bool
+	grants   uint64
+	panics   []any
+	done     chan struct{}
+}
+
+// pick runs one scheduling decision: select the minimum-clock proc (ties
+// broken by position in the run queue, i.e. lowest ID until a finished proc
+// is swap-removed) and compute its grant. The minimum and runner-up clocks
+// come from a single fused scan. The caller must hold the token.
+func (s *sched) pick() (*Proc, grantMsg) {
+	running := s.running
+	minIdx := 0
+	minClock := running[0].clock
+	second := ^uint64(0)
+	for i := 1; i < len(running); i++ {
+		c := running[i].clock
+		if c < minClock {
+			second = minClock
+			minClock = c
+			minIdx = i
+		} else if c < second {
+			second = c
+		}
+	}
+	p := running[minIdx]
+	if !s.stopping && s.watchdog != nil && s.watchdog(minClock) {
+		s.stopping = true
+	}
+	s.grants++
+	var msg grantMsg
+	if s.stopping {
+		msg.stop = true
+	} else {
+		target := ^uint64(0)
+		// A sole remaining proc normally gets an unbounded grant, but
+		// with a watchdog armed every grant must be finite or a
+		// livelocked last proc would never yield the token back.
+		if second != ^uint64(0) || s.watchdog != nil {
+			// Grant lengths are randomized in [1, quantum] to break
+			// phase-locking: with deterministic equal-length grants,
+			// threads running identical loops execute in rigid lockstep
+			// and their critical sections never interleave in token
+			// order, hiding conflicts that overlap in virtual time.
+			// Real machines have scheduling noise; so does this one.
+			slice := 1 + uint64(s.rng.Int63n(int64(s.quantum)))
+			if s.grantFn != nil {
+				slice = s.grantFn(p.ID, minClock, slice)
+				if slice == 0 {
+					slice = 1
+				}
+			}
+			base := second
+			if base == ^uint64(0) {
+				base = minClock
+			}
+			if base < ^uint64(0)-slice {
+				target = base + slice
+			}
+		}
+		msg.target = target
+	}
+	if grantHook != nil {
+		grantHook(p.ID, msg.target, msg.stop)
+	}
+	return p, msg
+}
+
+// finish removes p from the run queue and passes the token onward — to the
+// next minimum-clock proc, or to Run's caller when p was the last runner.
+// It runs on p's goroutine while p still holds the token.
+func (s *sched) finish(p *Proc) {
+	running := s.running
+	for i, q := range running {
+		if q == p {
+			running[i] = running[len(running)-1]
+			s.running = running[:len(running)-1]
+			break
+		}
+	}
+	if len(s.running) == 0 {
+		s.done <- struct{}{}
+		return
+	}
+	next, msg := s.pick()
+	next.grant <- msg
+}
 
 // Clock returns the proc's current virtual time in cycles.
 func (p *Proc) Clock() uint64 { return p.clock }
@@ -98,15 +214,33 @@ func (p *Proc) Rand() *rand.Rand { return p.rng }
 // for diagnostics.
 func (p *Proc) Stopped() bool { return p.stopped }
 
-// Step advances the proc's virtual clock by cost cycles, yielding to the
-// scheduler if the proc has run ahead of its peers. Every simulated memory
+// Step advances the proc's virtual clock by cost cycles, yielding the
+// token if the proc has run ahead of its peers. Every simulated memory
 // access and every unit of simulated computation funnels through Step.
 func (p *Proc) Step(cost uint64) {
 	p.clock += cost
 	if p.clock >= p.target {
-		p.yield <- yieldRunning
-		p.target = p.recvGrant()
+		p.yieldToken()
 	}
+}
+
+// yieldToken runs the scheduling decision inline on the yielding proc and
+// hands the token to the chosen runner, blocking until the token comes
+// back. When the yielder itself is still the minimum-clock proc (a sole
+// runner under an armed watchdog, mainly), it keeps the token with no
+// synchronization at all.
+func (p *Proc) yieldToken() {
+	next, msg := p.sched.pick()
+	if next == p {
+		if msg.stop {
+			p.stopped = true
+			panic(stopSignal{})
+		}
+		p.target = msg.target
+		return
+	}
+	next.grant <- msg
+	p.target = p.recvGrant()
 }
 
 // recvGrant blocks for the next grant, unwinding the proc on a stop order.
@@ -120,8 +254,8 @@ func (p *Proc) recvGrant() uint64 {
 }
 
 // Run simulates n procs, each executing body, and returns when all bodies
-// have returned. The scheduler resumes the minimum-clock proc first (ties
-// broken by lowest ID), granting it a quantum beyond the runner-up clock.
+// have returned. The token always passes to the minimum-clock proc (ties
+// broken by lowest ID), granted a quantum beyond the runner-up clock.
 //
 // A panic in a body is re-raised on the caller's goroutine.
 func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
@@ -133,96 +267,53 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 		quantum = DefaultQuantum
 	}
 
+	s := &sched{
+		quantum:  quantum,
+		grantFn:  cfg.Grant,
+		watchdog: cfg.Watchdog,
+		rng:      rand.New(rand.NewSource(cfg.Seed*2_654_435_761 + 97)),
+		panics:   make([]any, n),
+		done:     make(chan struct{}, 1),
+	}
 	procs := make([]*Proc, n)
-	panics := make([]any, n)
 	for i := range procs {
 		procs[i] = &Proc{
 			ID:    i,
-			grant: make(chan grantMsg),
-			yield: make(chan yieldKind),
+			sched: s,
+			// Buffered: the sender is always the sole token holder and
+			// the receiver consumes exactly one message per wake, so a
+			// one-slot buffer lets the handoff complete without waiting
+			// for the receiver to reach its receive.
+			grant: make(chan grantMsg, 1),
 			rng:   rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7919 + 1)),
 		}
 	}
+	s.running = make([]*Proc, n)
+	copy(s.running, procs)
 	for i, p := range procs {
 		go func(i int, p *Proc) {
 			defer func() {
 				if r := recover(); r != nil {
 					if _, isStop := r.(stopSignal); !isStop {
-						panics[i] = r
+						s.panics[i] = r
 					}
-					p.yield <- yieldDone
 				}
+				s.finish(p)
 			}()
 			p.target = p.recvGrant()
 			body(p)
-			p.yield <- yieldDone
 		}(i, p)
 	}
 
-	// Grant lengths are randomized in [1, quantum] to break phase-locking:
-	// with deterministic equal-length grants, threads running identical
-	// loops execute in rigid lockstep and their critical sections never
-	// interleave in token order, hiding conflicts that overlap in virtual
-	// time. Real machines have scheduling noise; so does this one.
-	schedRng := rand.New(rand.NewSource(cfg.Seed*2_654_435_761 + 97))
+	// The first scheduling decision runs here; every subsequent one runs
+	// inline on whichever proc holds the token, and the last finishing
+	// proc hands the token back by signalling done.
+	next, msg := s.pick()
+	next.grant <- msg
+	<-s.done
 
-	running := make([]*Proc, len(procs))
-	copy(running, procs)
-	stopping := false
-	for len(running) > 0 {
-		// Pick the minimum-clock proc; find the runner-up clock to set
-		// the grant target.
-		minIdx := 0
-		for i, p := range running[1:] {
-			if p.clock < running[minIdx].clock {
-				minIdx = i + 1
-			}
-		}
-		p := running[minIdx]
-		if !stopping && cfg.Watchdog != nil && cfg.Watchdog(p.clock) {
-			stopping = true
-		}
-		var msg grantMsg
-		if stopping {
-			msg.stop = true
-		} else {
-			second := ^uint64(0)
-			if len(running) > 1 {
-				for i, q := range running {
-					if i != minIdx && q.clock < second {
-						second = q.clock
-					}
-				}
-			}
-			target := ^uint64(0)
-			// A sole remaining proc normally gets an unbounded grant, but
-			// with a watchdog armed every grant must be finite or a
-			// livelocked last proc would never yield the token back.
-			if second != ^uint64(0) || cfg.Watchdog != nil {
-				slice := 1 + uint64(schedRng.Int63n(int64(quantum)))
-				if cfg.Grant != nil {
-					slice = cfg.Grant(p.ID, p.clock, slice)
-					if slice == 0 {
-						slice = 1
-					}
-				}
-				base := second
-				if base == ^uint64(0) {
-					base = p.clock
-				}
-				if base < ^uint64(0)-slice {
-					target = base + slice
-				}
-			}
-			msg.target = target
-		}
-		p.grant <- msg
-		if <-p.yield == yieldDone {
-			running[minIdx] = running[len(running)-1]
-			running = running[:len(running)-1]
-		}
-	}
-	for i, r := range panics {
+	grantCount.Add(s.grants)
+	for i, r := range s.panics {
 		if r != nil {
 			panic(fmt.Sprintf("sim: proc %d panicked: %v", i, r))
 		}

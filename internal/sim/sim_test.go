@@ -162,6 +162,76 @@ func TestRunZeroProcsPanics(t *testing.T) {
 	Run(Config{Seed: 1}, 0, func(p *Proc) {})
 }
 
+// TestPickTieBreak pins the scheduler's tie-breaking order: among procs
+// sharing the minimum clock, pick selects the one earliest in the run
+// queue (lowest ID until a finished proc is swap-removed), and the grant
+// target is runner-up clock + slice. Quantum 1 makes the slice exactly 1,
+// so targets are checked exactly.
+func TestPickTieBreak(t *testing.T) {
+	mk := func(clocks ...uint64) *sched {
+		s := &sched{quantum: 1, rng: rand.New(rand.NewSource(1))}
+		for i, c := range clocks {
+			s.running = append(s.running, &Proc{ID: i, clock: c})
+		}
+		return s
+	}
+	cases := []struct {
+		name       string
+		clocks     []uint64
+		wantID     int
+		wantTarget uint64
+	}{
+		{"all-tied-picks-first", []uint64{5, 5, 5}, 0, 6},
+		{"strict-min-wins", []uint64{7, 3, 5}, 1, 6},
+		{"tied-min-picks-earliest", []uint64{5, 3, 3, 7}, 1, 4},
+		{"two-tied", []uint64{2, 2}, 0, 3},
+		{"min-at-end", []uint64{9, 9, 4}, 2, 10},
+	}
+	for _, tc := range cases {
+		s := mk(tc.clocks...)
+		p, msg := s.pick()
+		if p.ID != tc.wantID {
+			t.Errorf("%s: picked proc %d, want %d", tc.name, p.ID, tc.wantID)
+		}
+		if msg.target != tc.wantTarget {
+			t.Errorf("%s: target = %d, want %d", tc.name, msg.target, tc.wantTarget)
+		}
+		if msg.stop {
+			t.Errorf("%s: unexpected stop grant", tc.name)
+		}
+	}
+}
+
+// TestPickTieBreakPositional: after a swap-removal the run queue is no
+// longer ID-ordered, and ties break by queue position, not ID. This is
+// load-bearing for schedule stability: pick must not re-sort.
+func TestPickTieBreakPositional(t *testing.T) {
+	p1 := &Proc{ID: 1, clock: 5}
+	p2 := &Proc{ID: 2, clock: 5}
+	s := &sched{quantum: 1, rng: rand.New(rand.NewSource(1)), running: []*Proc{p2, p1}}
+	p, _ := s.pick()
+	if p != p2 {
+		t.Errorf("tied procs in queue order [2, 1]: picked ID %d, want 2 (queue position, not ID)", p.ID)
+	}
+}
+
+// TestPickSoleRunnerGrants: a sole remaining proc gets an unbounded grant
+// (no RNG draw) unless a watchdog is armed, in which case the grant is
+// finite so the token keeps cycling through the watchdog check.
+func TestPickSoleRunnerGrants(t *testing.T) {
+	s := &sched{quantum: 1, rng: rand.New(rand.NewSource(1)),
+		running: []*Proc{{ID: 0, clock: 42}}}
+	if _, msg := s.pick(); msg.target != ^uint64(0) {
+		t.Errorf("sole runner without watchdog: target = %d, want unbounded", msg.target)
+	}
+	s = &sched{quantum: 1, rng: rand.New(rand.NewSource(1)),
+		watchdog: func(uint64) bool { return false },
+		running:  []*Proc{{ID: 0, clock: 42}}}
+	if _, msg := s.pick(); msg.target != 43 {
+		t.Errorf("sole runner with watchdog: target = %d, want 43", msg.target)
+	}
+}
+
 // TestUnevenFinish: procs finishing at different times must not stall the
 // remaining ones.
 func TestUnevenFinish(t *testing.T) {

@@ -1,0 +1,86 @@
+package tsx
+
+import (
+	"testing"
+
+	"hle/internal/mem"
+)
+
+// benchMachine builds a 1-thread machine with the noise sources disabled,
+// so benchmarks measure engine mechanics rather than RNG draws.
+func benchMachine() *Machine {
+	cfg := DefaultConfig(1)
+	cfg.CostJitter = -1
+	cfg.SpuriousPerAccess = 0
+	cfg.MaxTxAccesses = 1 << 40
+	return NewMachine(cfg)
+}
+
+// BenchmarkTxLoadStore measures the transactional access hot path: a
+// store+load pair to a small working set inside one long transaction —
+// write-buffer insert, buffered-load hit, read/write-set membership checks.
+func BenchmarkTxLoadStore(b *testing.B) {
+	m := benchMachine()
+	m.RunOne(func(t *Thread) {
+		base := t.Alloc(256)
+		b.ResetTimer()
+		committed, st := t.RTM(func() {
+			for i := 0; i < b.N; i++ {
+				a := base + mem.Addr((i*7)&255)
+				t.Store(a, uint64(i))
+				if got := t.Load(a); got != uint64(i) {
+					panic("bad buffered load")
+				}
+			}
+		})
+		if !committed {
+			b.Fatalf("benchmark transaction aborted: %+v", st)
+		}
+	})
+}
+
+// BenchmarkTxLoadOnly measures the read-only transactional path: loads that
+// miss the write buffer and hit the read set.
+func BenchmarkTxLoadOnly(b *testing.B) {
+	m := benchMachine()
+	m.RunOne(func(t *Thread) {
+		base := t.Alloc(256)
+		b.ResetTimer()
+		committed, st := t.RTM(func() {
+			for i := 0; i < b.N; i++ {
+				_ = t.Load(base + mem.Addr((i*7)&255))
+			}
+		})
+		if !committed {
+			b.Fatalf("benchmark transaction aborted: %+v", st)
+		}
+	})
+}
+
+// BenchmarkWriteBuf measures the write buffer in isolation: per iteration,
+// one transaction-lifetime's worth of traffic at the observed common-case
+// size — 24 distinct words written, each read back twice, then the buffer
+// is reset for the next "transaction".
+func BenchmarkWriteBuf(b *testing.B) {
+	tx := newTxState()
+	addrs := make([]mem.Addr, 24)
+	for i := range addrs {
+		// One word per line, like contended lock/node words.
+		addrs[i] = mem.Addr((i + 1) * mem.LineWords)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, a := range addrs {
+			tx.bufWrite(a, uint64(j))
+		}
+		for r := 0; r < 2; r++ {
+			for j, a := range addrs {
+				v, ok := tx.bufGet(a)
+				if !ok || v != uint64(j) {
+					b.Fatal("write buffer lookup failed")
+				}
+			}
+		}
+		tx.reset()
+	}
+}

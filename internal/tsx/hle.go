@@ -56,7 +56,7 @@ func (t *Thread) tryHLE(body func()) (done bool) {
 // threads, as a single XACQUIRE-prefixed instruction is on hardware.
 func (t *Thread) xacquireStart(a mem.Addr, newVal uint64) (uint64, *txState) {
 	old := t.m.Mem.Read(a)
-	t.trace("xacq-elide", a, old)
+	t.trace(EvXacqElide, a, old)
 	tx := t.beginTx()
 	tx.elided = true
 	tx.hleOuter = true
@@ -203,11 +203,11 @@ func (t *Thread) XAcquireCAS(a mem.Addr, old, new uint64) bool {
 // elision was nested inside an RTM region (Algorithm 3 with nesting
 // support), only the elision state ends and the RTM region commits later.
 func (t *Thread) xreleaseEnd(tx *txState, v uint64) {
-	t.trace("xrel-end", tx.elidedAddr, v)
+	t.trace(EvXrelEnd, tx.elidedAddr, v)
 	if v != tx.elidedOld {
 		t.abortNow(CauseHLERestore, 0)
 	}
-	if _, ok := tx.writeBuf[tx.elidedAddr]; ok {
+	if _, ok := tx.writeBuf.get(tx.elidedAddr); ok {
 		// The lock word was also written as data inside the critical
 		// section; keep the restored value for publication.
 		tx.bufWrite(tx.elidedAddr, v)

@@ -72,13 +72,13 @@ func (t *Thread) inject(line int, write bool) {
 	}
 	stall, abort := inj.Access(t.ID, t.Clock(), line, write, t.tx != nil)
 	if stall > 0 {
-		t.ringAdd("inj-stall", mem.LineAddr(line), stall)
+		t.ringAdd(EvInjStall, mem.LineAddr(line), stall)
 		// Raw Proc.Step, not Thread.Step: injected delays are exact,
 		// not subject to cost jitter.
 		t.Proc.Step(stall)
 	}
 	if abort && t.tx != nil {
-		t.ringAdd("inj-abort", mem.LineAddr(line), 0)
+		t.ringAdd(EvInjAbort, mem.LineAddr(line), 0)
 		t.abortNow(CauseSpurious, 0)
 	}
 }

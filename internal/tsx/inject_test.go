@@ -205,9 +205,9 @@ func TestTraceRingRecordsLifecycle(t *testing.T) {
 	}
 	var seq []string
 	for _, ev := range evs {
-		switch ev.Event {
+		switch ev.Kind.String() {
 		case "begin", "commit", "abort":
-			seq = append(seq, ev.Event)
+			seq = append(seq, ev.Kind.String())
 		}
 	}
 	want := []string{"begin", "commit", "begin", "abort"}

@@ -10,16 +10,77 @@ type TraceFunc func(threadID int, event string, addr mem.Addr, val uint64)
 // needed because simulated execution is token-serialized).
 var Trace TraceFunc
 
+// EventKind identifies an engine event compactly. The hot paths record
+// kinds, not strings: a kind is one byte, and its name is materialized only
+// when an event is formatted (diagnostic dumps, the global Trace hook).
+type EventKind uint8
+
+// Engine event kinds.
+const (
+	EvNone EventKind = iota
+	EvLoad             // non-transactional load
+	EvLoadBuf          // transactional load served from the write buffer
+	EvLoadTx           // transactional load from memory
+	EvStore            // non-transactional store
+	EvStoreTx          // transactional (buffered) store
+	EvSwap             // non-transactional atomic exchange
+	EvPublish          // buffered store published at commit
+	EvAddRead          // line added to the read set
+	EvXacqElide        // XACQUIRE began elision
+	EvXrelEnd          // XRELEASE ended elision
+	EvReqLine          // coherence request issued for a line
+	EvDoomed           // transaction doomed by a conflicting request
+	EvBegin            // transaction begun
+	EvCommit           // transaction committed
+	EvAbort            // transaction aborted
+	EvInjStall         // injected stall (fault injection)
+	EvInjAbort         // injected spurious abort (fault injection)
+
+	numEventKinds = int(EvInjAbort) + 1
+)
+
+// eventNames are the wire/dump names of the kinds. They predate the enum
+// (the ring and the Trace hook recorded these exact strings), so dump
+// formats and trace-matching tests are unchanged.
+var eventNames = [numEventKinds]string{
+	EvNone:      "none",
+	EvLoad:      "load",
+	EvLoadBuf:   "load-buf",
+	EvLoadTx:    "load-tx",
+	EvStore:     "store",
+	EvStoreTx:   "store-tx",
+	EvSwap:      "swap",
+	EvPublish:   "publish",
+	EvAddRead:   "addread",
+	EvXacqElide: "xacq-elide",
+	EvXrelEnd:   "xrel-end",
+	EvReqLine:   "reqline",
+	EvDoomed:    "doomed",
+	EvBegin:     "begin",
+	EvCommit:    "commit",
+	EvAbort:     "abort",
+	EvInjStall:  "inj-stall",
+	EvInjAbort:  "inj-abort",
+}
+
+// String returns the event kind's dump name.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
 // TraceEvent is one engine event captured by a machine's trace ring —
 // the bounded flight recorder behind watchdog diagnostic dumps
 // (Config.TraceRing). Unlike the global Trace hook it records the issuing
 // thread's virtual clock, and it additionally captures transaction
-// lifecycle events ("begin", "commit", "abort") and injected faults
-// ("inj-stall", "inj-abort").
+// lifecycle events (EvBegin, EvCommit, EvAbort) and injected faults
+// (EvInjStall, EvInjAbort).
 type TraceEvent struct {
 	Thread int
 	Clock  uint64
-	Event  string
+	Kind   EventKind
 	Addr   mem.Addr
 	Val    uint64
 }
@@ -66,20 +127,21 @@ func (m *Machine) TraceEvents() []TraceEvent {
 }
 
 // trace reports an event to the global Trace hook and the machine's ring.
-func (t *Thread) trace(event string, addr mem.Addr, val uint64) {
+// The event name string is materialized only when the global hook is set.
+func (t *Thread) trace(kind EventKind, addr mem.Addr, val uint64) {
 	if Trace != nil {
-		Trace(t.ID, event, addr, val)
+		Trace(t.ID, kind.String(), addr, val)
 	}
 	if r := t.m.ring; r != nil {
-		r.add(TraceEvent{Thread: t.ID, Clock: t.Clock(), Event: event, Addr: addr, Val: val})
+		r.add(TraceEvent{Thread: t.ID, Clock: t.Clock(), Kind: kind, Addr: addr, Val: val})
 	}
 }
 
 // ringAdd reports an event to the machine's ring only. Lifecycle and
 // injection events use it so that enabling a ring does not change what
 // existing global-Trace consumers (cmd/hle-trace, tests) observe.
-func (t *Thread) ringAdd(event string, addr mem.Addr, val uint64) {
+func (t *Thread) ringAdd(kind EventKind, addr mem.Addr, val uint64) {
 	if r := t.m.ring; r != nil {
-		r.add(TraceEvent{Thread: t.ID, Clock: t.Clock(), Event: event, Addr: addr, Val: val})
+		r.add(TraceEvent{Thread: t.ID, Clock: t.Clock(), Kind: kind, Addr: addr, Val: val})
 	}
 }

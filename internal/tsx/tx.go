@@ -11,7 +11,7 @@ import (
 type txState struct {
 	readLines  []int
 	writeLines []int
-	writeBuf   map[mem.Addr]uint64
+	writeBuf   writeBuf
 	writeOrder []mem.Addr
 
 	doomed       bool
@@ -44,11 +44,23 @@ type allocRec struct {
 
 const allocCost = 12
 
+// newTxState returns a fresh transaction context ready for reset/use.
+func newTxState() *txState {
+	tx := &txState{}
+	tx.writeBuf.init()
+	return tx
+}
+
+// bufGet returns the buffered value for a, if any.
+func (tx *txState) bufGet(a mem.Addr) (uint64, bool) {
+	return tx.writeBuf.get(a)
+}
+
 // reset prepares a pooled txState for reuse.
 func (tx *txState) reset() {
 	tx.readLines = tx.readLines[:0]
 	tx.writeLines = tx.writeLines[:0]
-	clear(tx.writeBuf)
+	tx.writeBuf.reset()
 	tx.writeOrder = tx.writeOrder[:0]
 	tx.doomed = false
 	tx.abortCause = CauseNone
@@ -81,7 +93,7 @@ func (t *Thread) beginTx() *txState {
 	}
 	tx := t.txPool
 	if tx == nil {
-		tx = &txState{writeBuf: make(map[mem.Addr]uint64, 32)}
+		tx = newTxState()
 		t.txPool = tx
 	}
 	tx.reset()
@@ -92,7 +104,7 @@ func (t *Thread) beginTx() *txState {
 	tx.evictAt = t.m.cfg.L1ReadLines
 	t.tx = tx
 	t.Stats.Begun++
-	t.ringAdd("begin", mem.Nil, 0)
+	t.ringAdd(EvBegin, mem.Nil, 0)
 	return tx
 }
 
@@ -148,7 +160,7 @@ func (t *Thread) finishAbort() Status {
 	t.clearLineBits(tx)
 	t.tx = nil
 	t.Stats.Aborted[tx.abortCause]++
-	t.ringAdd("abort", mem.LineAddr(tx.conflictLine), uint64(tx.abortCause))
+	t.ringAdd(EvAbort, mem.LineAddr(tx.conflictLine), uint64(tx.abortCause))
 	t.Step(t.m.cfg.Costs.Abort)
 	return statusFor(tx)
 }
@@ -161,8 +173,9 @@ func (t *Thread) commit() {
 		t.abortNow(CauseConflict, 0)
 	}
 	for _, a := range tx.writeOrder {
-		t.trace("publish", a, tx.writeBuf[a])
-		t.m.Mem.Write(a, tx.writeBuf[a])
+		v, _ := tx.writeBuf.get(a)
+		t.trace(EvPublish, a, v)
+		t.m.Mem.Write(a, v)
 	}
 	for _, f := range tx.frees {
 		t.m.Mem.CheckFree(f.addr, f.n, f.lines)
@@ -170,7 +183,7 @@ func (t *Thread) commit() {
 	}
 	t.clearLineBits(tx)
 	t.tx = nil
-	t.ringAdd("commit", mem.Nil, uint64(tx.accesses))
+	t.ringAdd(EvCommit, mem.Nil, uint64(tx.accesses))
 	t.Stats.Committed++
 	t.Stats.CommittedReadLines += uint64(len(tx.readLines))
 	t.Stats.CommittedWriteLines += uint64(len(tx.writeLines))
@@ -209,10 +222,8 @@ func (t *Thread) txPreAccess(tx *txState) {
 // txLoadValue returns the transaction-local view of the word at a without
 // touching read/write sets.
 func (t *Thread) txLoadValue(tx *txState, a mem.Addr) uint64 {
-	if len(tx.writeBuf) != 0 {
-		if v, ok := tx.writeBuf[a]; ok {
-			return v
-		}
+	if v, ok := tx.writeBuf.get(a); ok {
+		return v
 	}
 	if tx.elided && a == tx.elidedAddr {
 		return tx.elidedVal
@@ -221,10 +232,9 @@ func (t *Thread) txLoadValue(tx *txState, a mem.Addr) uint64 {
 }
 
 func (tx *txState) bufWrite(a mem.Addr, v uint64) {
-	if _, ok := tx.writeBuf[a]; !ok {
+	if tx.writeBuf.put(a, v) {
 		tx.writeOrder = append(tx.writeOrder, a)
 	}
-	tx.writeBuf[a] = v
 }
 
 // txTouchRead adds line to the read set, enforcing capacity and the
@@ -232,8 +242,8 @@ func (tx *txState) bufWrite(a mem.Addr, v uint64) {
 func (t *Thread) txTouchRead(tx *txState, line int) {
 	lm := t.m.Mem.LineByIndex(line)
 	bit := t.bit
-	if lm.Readers&bit != 0 || lm.Writers&bit != 0 {
-		return // cache hit: already tracked
+	if (lm.Readers|lm.Writers)&bit != 0 {
+		return // cache hit: already tracked in either set
 	}
 	t.hwextMissCheck(tx)
 	n := len(tx.readLines)
@@ -249,7 +259,7 @@ func (t *Thread) txTouchRead(tx *txState, line int) {
 	// The read is a coherence request: requestor wins, so it dooms any
 	// other transaction holding the line in its write set.
 	t.m.requestLine(line, t, false)
-	t.trace("addread", mem.LineAddr(line), lm.Readers)
+	t.trace(EvAddRead, mem.LineAddr(line), lm.Readers)
 	lm.Readers |= bit
 	tx.readLines = append(tx.readLines, line)
 }
@@ -323,10 +333,10 @@ func (m *Machine) requestLine(line int, req *Thread, isWrite bool) {
 	}
 	if req != nil {
 		if Trace != nil {
-			Trace(req.ID, "reqline", mem.LineAddr(line), victims)
+			Trace(req.ID, EvReqLine.String(), mem.LineAddr(line), victims)
 		}
 		if m.ring != nil {
-			m.ring.add(TraceEvent{Thread: req.ID, Clock: req.Clock(), Event: "reqline", Addr: mem.LineAddr(line), Val: victims})
+			m.ring.add(TraceEvent{Thread: req.ID, Clock: req.Clock(), Kind: EvReqLine, Addr: mem.LineAddr(line), Val: victims})
 		}
 	}
 	if req != nil {
@@ -343,10 +353,10 @@ func (m *Machine) requestLine(line int, req *Thread, isWrite bool) {
 		v.tx.abortCause = CauseConflict
 		v.tx.conflictLine = line
 		if Trace != nil {
-			Trace(v.ID, "doomed", mem.LineAddr(line), 0)
+			Trace(v.ID, EvDoomed.String(), mem.LineAddr(line), 0)
 		}
 		if m.ring != nil {
-			m.ring.add(TraceEvent{Thread: v.ID, Clock: v.Clock(), Event: "doomed", Addr: mem.LineAddr(line), Val: 0})
+			m.ring.add(TraceEvent{Thread: v.ID, Clock: v.Clock(), Kind: EvDoomed, Addr: mem.LineAddr(line), Val: 0})
 		}
 	}
 }
@@ -368,15 +378,13 @@ func (t *Thread) Load(a mem.Addr) uint64 {
 	if tx == nil {
 		t.m.requestLine(line, t, false)
 		v := t.m.Mem.Read(a)
-		t.trace("load", a, v)
+		t.trace(EvLoad, a, v)
 		return v
 	}
 	t.txPreAccess(tx)
-	if len(tx.writeBuf) != 0 {
-		if v, ok := tx.writeBuf[a]; ok {
-			t.trace("load-buf", a, v)
-			return v
-		}
+	if v, ok := tx.writeBuf.get(a); ok {
+		t.trace(EvLoadBuf, a, v)
+		return v
 	}
 	if tx.elided && a == tx.elidedAddr {
 		// HLE's illusion: the transaction sees the value its elided
@@ -390,7 +398,7 @@ func (t *Thread) Load(a mem.Addr) uint64 {
 	}
 	t.txTouchRead(tx, line)
 	v := t.m.Mem.Read(a)
-	t.trace("load-tx", a, v)
+	t.trace(EvLoadTx, a, v)
 	return v
 }
 
@@ -403,14 +411,14 @@ func (t *Thread) Store(a mem.Addr, v uint64) {
 	t.inject(line, true)
 	tx := t.tx
 	if tx == nil {
-		t.trace("store", a, v)
+		t.trace(EvStore, a, v)
 		t.m.requestLine(line, t, true)
 		t.m.Mem.Write(a, v)
 		return
 	}
 	t.txPreAccess(tx)
 	t.txTouchWrite(tx, line)
-	t.trace("store-tx", a, v)
+	t.trace(EvStoreTx, a, v)
 	tx.bufWrite(a, v)
 }
 
@@ -449,7 +457,7 @@ func (t *Thread) Swap(a mem.Addr, v uint64) uint64 {
 	t.inject(line, true)
 	tx := t.tx
 	if tx == nil {
-		t.trace("swap", a, v)
+		t.trace(EvSwap, a, v)
 		t.m.requestLine(line, t, true)
 		old := t.m.Mem.Read(a)
 		t.m.Mem.Write(a, v)

@@ -1,0 +1,118 @@
+package tsx
+
+import "hle/internal/mem"
+
+// writeBuf is the transactional store buffer: an open-addressing hash table
+// from word address to buffered value, replacing the Go map the engine
+// started with. Under profiling the map probe on every transactional
+// Load/Store was the engine's hottest instruction sequence; the observed
+// common case is fewer than 32 distinct words written per transaction, so a
+// fixed 64-slot table at ≤50% load answers almost every probe in one
+// comparison, growing (rarely) for larger write sets.
+//
+// Slots are invalidated in O(1) at transaction reset by bumping a table
+// epoch instead of clearing: a slot belongs to the current transaction only
+// if its epoch matches. The table never shrinks — like the map it replaces,
+// it stays at the high-water mark of its pooled txState.
+type writeBuf struct {
+	keys   []mem.Addr
+	vals   []uint64
+	epochs []uint32
+	epoch  uint32
+	// shift positions the multiplicative hash's high bits for the current
+	// table size: index = (a * phi64) >> shift, with shift = 64 - log2(cap).
+	shift uint8
+	n     int
+}
+
+// writeBufInitCap is the initial table capacity; must be a power of two
+// at least twice the common-case write-set size.
+const writeBufInitCap = 64
+
+// phi64 is 2^64 / the golden ratio, the standard Fibonacci-hashing
+// multiplier: consecutive addresses (the norm for word-granular writes to
+// adjacent fields) scatter to well-separated slots.
+const phi64 = 0x9e3779b97f4a7c15
+
+func (w *writeBuf) init() {
+	w.keys = make([]mem.Addr, writeBufInitCap)
+	w.vals = make([]uint64, writeBufInitCap)
+	w.epochs = make([]uint32, writeBufInitCap)
+	w.epoch = 1
+	w.shift = 64 - 6 // log2(writeBufInitCap) == 6
+}
+
+// reset invalidates every buffered entry in O(1).
+func (w *writeBuf) reset() {
+	w.n = 0
+	w.epoch++
+	if w.epoch == 0 { // epoch wrapped: stale slots could alias; clear for real
+		clear(w.epochs)
+		w.epoch = 1
+	}
+}
+
+// get returns the buffered value for a, if any.
+func (w *writeBuf) get(a mem.Addr) (uint64, bool) {
+	if w.n == 0 {
+		return 0, false
+	}
+	mask := uint32(len(w.keys) - 1)
+	i := uint32(uint64(a) * phi64 >> w.shift)
+	for {
+		if w.epochs[i] != w.epoch {
+			return 0, false
+		}
+		if w.keys[i] == a {
+			return w.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put buffers v for a, reporting whether a is new to this transaction's
+// write set (the caller appends new addresses to its publication order).
+func (w *writeBuf) put(a mem.Addr, v uint64) bool {
+	mask := uint32(len(w.keys) - 1)
+	i := uint32(uint64(a) * phi64 >> w.shift)
+	for w.epochs[i] == w.epoch {
+		if w.keys[i] == a {
+			w.vals[i] = v
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	w.keys[i] = a
+	w.vals[i] = v
+	w.epochs[i] = w.epoch
+	w.n++
+	if w.n*2 >= len(w.keys) {
+		w.grow()
+	}
+	return true
+}
+
+// grow doubles the table, rehashing the current transaction's entries.
+func (w *writeBuf) grow() {
+	oldKeys, oldVals, oldEpochs, oldEpoch := w.keys, w.vals, w.epochs, w.epoch
+	size := len(oldKeys) * 2
+	w.keys = make([]mem.Addr, size)
+	w.vals = make([]uint64, size)
+	w.epochs = make([]uint32, size)
+	w.epoch = 1
+	w.shift--
+	mask := uint32(size - 1)
+	for j, e := range oldEpochs {
+		if e != oldEpoch {
+			continue
+		}
+		a := oldKeys[j]
+		i := uint32(uint64(a) * phi64 >> w.shift)
+		for w.epochs[i] == w.epoch {
+			i = (i + 1) & mask
+		}
+		w.keys[i] = a
+		w.vals[i] = oldVals[j]
+		w.epochs[i] = w.epoch
+	}
+}
