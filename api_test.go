@@ -1,0 +1,214 @@
+package hle_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hle"
+)
+
+// runCounter drives one counter workload under the scheme mk builds and
+// returns its operation statistics; identical seeds and schemes must give
+// identical stats.
+func runCounter(seed int64, mk func(t *hle.Thread) hle.Scheme) (string, hle.OpStats) {
+	sys := hle.NewSystem(4, hle.WithSeed(seed))
+	var counter hle.Addr
+	var scheme hle.Scheme
+	sys.Init(func(th *hle.Thread) {
+		counter = th.AllocLines(1)
+		scheme = mk(th)
+	})
+	sys.Parallel(4, func(th *hle.Thread) {
+		scheme.Setup(th)
+		for i := 0; i < 150; i++ {
+			scheme.Run(th, func() {
+				v := th.Load(counter)
+				th.Work(2)
+				th.Store(counter, v+1)
+			})
+		}
+	})
+	return scheme.Name(), scheme.TotalStats()
+}
+
+// TestDeprecatedConstructorsEquivalent: every deprecated constructor and
+// its option-based replacement build schemes that run identically — same
+// name, same statistics on the same seeded machine.
+func TestDeprecatedConstructorsEquivalent(t *testing.T) {
+	aux := func(th *hle.Thread) hle.Lock { return hle.NewMCSLock(th) }
+	pairs := []struct {
+		name     string
+		old, new func(th *hle.Thread) hle.Scheme
+	}{
+		{"ElideWithSCM",
+			func(th *hle.Thread) hle.Scheme { return hle.ElideWithSCM(hle.NewTTASLock(th), aux(th)) },
+			func(th *hle.Thread) hle.Scheme { return hle.Elide(hle.NewTTASLock(th), hle.WithSCM(aux(th))) }},
+		{"ElideWithSCMConfig",
+			func(th *hle.Thread) hle.Scheme {
+				return hle.ElideWithSCMConfig(hle.NewMCSLock(th), aux(th), hle.SCMConfig{MaxRetries: 3})
+			},
+			func(th *hle.Thread) hle.Scheme {
+				return hle.Elide(hle.NewMCSLock(th), hle.WithSCM(aux(th)),
+					hle.WithSCMTuning(hle.SCMConfig{MaxRetries: 3}))
+			}},
+		{"LockRemoval",
+			func(th *hle.Thread) hle.Scheme { return hle.LockRemoval(hle.NewTTASLock(th), 5) },
+			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th), hle.MaxAttempts(5)) }},
+		{"LockRemoval-default",
+			func(th *hle.Thread) hle.Scheme { return hle.LockRemoval(hle.NewTTASLock(th), 0) },
+			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th)) }},
+		{"PessimisticLockRemoval",
+			func(th *hle.Thread) hle.Scheme { return hle.PessimisticLockRemoval(hle.NewTTASLock(th)) },
+			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th), hle.Pessimistic()) }},
+		{"LockRemovalWithSCM",
+			func(th *hle.Thread) hle.Scheme { return hle.LockRemovalWithSCM(hle.NewTTASLock(th), aux(th)) },
+			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th), hle.WithSCM(aux(th))) }},
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			oldName, oldStats := runCounter(17, p.old)
+			newName, newStats := runCounter(17, p.new)
+			if oldName != newName {
+				t.Fatalf("names differ: %q (deprecated) vs %q (options)", oldName, newName)
+			}
+			if oldStats != newStats {
+				t.Fatalf("stats differ:\n  deprecated %+v\n  options    %+v", oldStats, newStats)
+			}
+		})
+	}
+}
+
+// TestOptionMisusePanics: inapplicable option combinations are programming
+// errors and fail loudly at construction.
+func TestOptionMisusePanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(th *hle.Thread)
+	}{
+		{"Elide+Pessimistic", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.Pessimistic())
+		}},
+		{"Elide+MaxAttempts", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.MaxAttempts(3))
+		}},
+		{"TuningWithoutSCM", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.WithSCMTuning(hle.SCMConfig{MaxRetries: 3}))
+		}},
+		{"RemovalSCM+MaxAttempts", func(th *hle.Thread) {
+			hle.Removal(hle.NewTTASLock(th), hle.WithSCM(hle.NewMCSLock(th)), hle.MaxAttempts(3))
+		}},
+		{"Pessimistic+ManyAttempts", func(th *hle.Thread) {
+			hle.Removal(hle.NewTTASLock(th), hle.Pessimistic(), hle.MaxAttempts(5))
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			sys := hle.NewSystem(1, hle.WithSeed(1))
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected construction panic")
+				}
+			}()
+			sys.Init(c.build)
+		})
+	}
+}
+
+// profiledContention runs a contended counter on a profiling system and
+// returns the profile.
+func profiledContention(seed int64) *hle.Profile {
+	sys := hle.NewSystem(4, hle.WithSeed(seed), hle.WithProfiling(hle.ProfileOptions{}))
+	var counter hle.Addr
+	var scheme hle.Scheme
+	sys.Init(func(th *hle.Thread) {
+		counter = th.AllocLines(1)
+		scheme = hle.Elide(hle.NewTTASLock(th))
+	})
+	sys.Parallel(4, func(th *hle.Thread) {
+		scheme.Setup(th)
+		for i := 0; i < 200; i++ {
+			scheme.Run(th, func() {
+				th.Store(counter, th.Load(counter)+1)
+			})
+		}
+	})
+	return sys.Profile()
+}
+
+// TestProfilingOption wires WithProfiling end to end: the profile is
+// delivered, attributes every abort to exactly one cause, and is
+// byte-identical across identically-seeded systems.
+func TestProfilingOption(t *testing.T) {
+	p := profiledContention(23)
+	if p == nil {
+		t.Fatal("Profile() returned nil on a profiling system")
+	}
+	if p.TotalAborts == 0 {
+		t.Fatal("contended elision recorded no aborts")
+	}
+	if sum := p.CauseSum(); sum != p.TotalAborts {
+		t.Fatalf("cause sum %d != total aborts %d", sum, p.TotalAborts)
+	}
+	if q := profiledContention(23); !bytes.Equal(p.JSON(), q.JSON()) {
+		t.Fatal("equal seeds produced different profile JSON")
+	}
+
+	// A system built without WithProfiling reports no profile.
+	plain := hle.NewSystem(2, hle.WithSeed(23))
+	if plain.Profile() != nil {
+		t.Fatal("Profile() non-nil without WithProfiling")
+	}
+}
+
+// TestChaosFacade drives the re-exported fault-injection surface: a
+// deterministic schedule, an engine installed at construction, faults
+// counted, and the profiler classifying the injected aborts separately
+// from organic spurious ones.
+func TestChaosFacade(t *testing.T) {
+	schedule := hle.RandomFaultSchedule(9, 2, 50_000, 6)
+	if len(schedule) != 6 {
+		t.Fatalf("schedule has %d faults, want 6", len(schedule))
+	}
+	if again := hle.RandomFaultSchedule(9, 2, 50_000, 6); len(again) != len(schedule) {
+		t.Fatal("RandomFaultSchedule nondeterministic")
+	}
+	engine := hle.NewChaosEngine(schedule...)
+	sys := hle.NewSystem(2,
+		hle.WithSeed(9),
+		hle.WithProfiling(hle.ProfileOptions{}),
+		hle.WithFaultInjection(engine),
+	)
+	var counter hle.Addr
+	var scheme hle.Scheme
+	sys.Init(func(th *hle.Thread) {
+		counter = th.AllocLines(1)
+		scheme = hle.Elide(hle.NewMCSLock(th), hle.WithSCM(hle.NewMCSLock(th)))
+	})
+	sys.Parallel(2, func(th *hle.Thread) {
+		scheme.Setup(th)
+		for i := 0; i < 400; i++ {
+			scheme.Run(th, func() {
+				th.Store(counter, th.Load(counter)+1)
+			})
+		}
+	})
+	n := engine.Counters()
+	if n.Aborts+n.Stalls+n.Squeezes+n.Skews == 0 {
+		t.Fatal("chaos engine delivered no faults")
+	}
+	p := sys.Profile()
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	if sum := p.CauseSum(); sum != p.TotalAborts {
+		t.Fatalf("cause sum %d != total aborts %d under injection", sum, p.TotalAborts)
+	}
+
+	// The watchdog constructor is reachable and arms cleanly.
+	wd := hle.NewWatchdog(hle.WatchdogConfig{LivelockWindow: 1 << 20}, 2)
+	if wd == nil {
+		t.Fatal("NewWatchdog returned nil")
+	}
+}

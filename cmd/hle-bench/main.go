@@ -6,9 +6,18 @@
 //	hle-bench -list
 //	hle-bench -fig 3.1 [-quick] [-threads 8] [-budget 2000000] [-seed 1] [-parallel 4]
 //	hle-bench -all [-quick] [-timing bench.json]
+//	hle-bench -fig 3.1 -profile json -profile-out profiles.json
+//
+// -profile attaches the abort-attribution profiler (internal/obs) to every
+// experiment point and emits each point's profile — cause breakdown,
+// conflict heatmap, occupancy waterfall, latency histograms — as json or
+// text, after the tables (or to -profile-out). Profiling is passive: the
+// tables are byte-identical with it on or off, and profile output is
+// deterministic for a fixed seed at any -parallel.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +29,7 @@ import (
 
 	"hle/internal/figures"
 	"hle/internal/harness"
+	"hle/internal/obs"
 	"hle/internal/sim"
 	"hle/internal/stats"
 )
@@ -58,10 +68,16 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"host workers experiment points fan out across (output is identical for any value)")
 		timing     = flag.String("timing", "", "write per-figure wall-clock/point-count JSON to this file")
+		profile    = flag.String("profile", "", "collect per-point abort-attribution profiles: json or text")
+		profileOut = flag.String("profile-out", "", "write -profile output to this file instead of stdout")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *profile != "" && *profile != "json" && *profile != "text" {
+		fmt.Fprintf(os.Stderr, "hle-bench: -profile must be json or text, got %q\n", *profile)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -99,6 +115,24 @@ func main() {
 		Parallel: *parallel,
 	}
 
+	// namedProfile pairs one experiment point's profile with its figure
+	// and point coordinates for the -profile report.
+	type namedProfile struct {
+		Figure  string       `json:"figure"`
+		Point   string       `json:"point"`
+		Profile *obs.Profile `json:"profile"`
+	}
+	var profiles []namedProfile
+	var curFig string
+	if *profile != "" {
+		opts.Profile = &obs.Options{}
+		// Figures run serially and deliver points in declaration order,
+		// so appending here keeps the report deterministic.
+		opts.ProfileSink = func(name string, p *obs.Profile) {
+			profiles = append(profiles, namedProfile{Figure: curFig, Point: name, Profile: p})
+		}
+	}
+
 	report := timingReport{
 		Parallel: *parallel,
 		HostCPUs: runtime.NumCPU(),
@@ -112,6 +146,7 @@ func main() {
 	// one token handoff plus the simulated execution it admits), and
 	// returns its tables.
 	timeFigure := func(f figures.Figure) []*stats.Table {
+		curFig = f.ID
 		beforePoints := harness.PointsRun()
 		beforeGrants := sim.Grants()
 		start := time.Now()
@@ -156,6 +191,31 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *profile != "" {
+		var buf bytes.Buffer
+		if *profile == "json" {
+			out, err := json.MarshalIndent(profiles, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hle-bench: marshaling profiles: %v\n", err)
+				os.Exit(1)
+			}
+			buf.Write(out)
+			buf.WriteByte('\n')
+		} else {
+			for _, np := range profiles {
+				fmt.Fprintf(&buf, "== %s %s ==\n%s\n", np.Figure, np.Point, np.Profile.Text())
+			}
+		}
+		if *profileOut != "" {
+			if err := os.WriteFile(*profileOut, buf.Bytes(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "hle-bench: writing profiles: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			os.Stdout.Write(buf.Bytes())
+		}
 	}
 
 	if *timing != "" && len(report.Figures) > 0 {

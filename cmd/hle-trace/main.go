@@ -3,30 +3,56 @@
 // teaching and debugging aid: every simulated coherence event (loads,
 // stores, elisions, dooms, publishes) is shown in token order.
 //
+// Two further modes render the profiling subsystem's view of a contended
+// run: -mode waterfall charts per-window speculating/serialized occupancy
+// (the avalanche as a time series), and -mode heatmap ranks the cache
+// lines conflict aborts die on, with the lock words named. Both accept
+// any harness scheme/lock combination.
+//
 // Usage:
 //
 //	hle-trace [-scheme HLE|HLE-SCM] [-events 120]
+//	hle-trace -mode waterfall [-scheme HLE] [-lock MCS] [-threads 8] [-budget 400000] [-seed 4]
+//	hle-trace -mode heatmap   [-scheme HLE] [-lock TTAS] [-threads 8]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"hle/internal/core"
+	"hle/internal/harness"
 	"hle/internal/locks"
 	"hle/internal/mem"
+	"hle/internal/obs"
 	"hle/internal/tsx"
 )
 
 func main() {
 	var (
-		scheme = flag.String("scheme", "HLE", "HLE or HLE-SCM")
-		limit  = flag.Int("events", 120, "number of events to print")
+		mode    = flag.String("mode", "trace", "trace, waterfall, or heatmap")
+		scheme  = flag.String("scheme", "HLE", "scheme (trace mode: HLE or HLE-SCM; profile modes: any harness scheme)")
+		lock    = flag.String("lock", "TTAS", "lock for waterfall/heatmap modes (TTAS, MCS, ...)")
+		threads = flag.Int("threads", 8, "simulated threads for waterfall/heatmap modes")
+		budget  = flag.Uint64("budget", 400_000, "virtual-cycle budget for waterfall/heatmap modes")
+		seed    = flag.Int64("seed", 4, "random seed")
+		limit   = flag.Int("events", 120, "number of events to print (trace mode)")
 	)
 	flag.Parse()
 
+	switch *mode {
+	case "trace":
+	case "waterfall", "heatmap":
+		runProfileMode(*mode, *scheme, *lock, *threads, *budget, *seed)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "hle-trace: unknown mode %q (trace, waterfall, heatmap)\n", *mode)
+		os.Exit(2)
+	}
+
 	cfg := tsx.DefaultConfig(2)
-	cfg.Seed = 4
+	cfg.Seed = *seed
 	cfg.SpuriousPerAccess = 0
 	m := tsx.NewMachine(cfg)
 
@@ -93,4 +119,38 @@ func main() {
 	st := s.TotalStats()
 	fmt.Printf("attempts/op %.2f, non-speculative fraction %.2f\n",
 		st.AttemptsPerOp(), st.NonSpecFraction())
+}
+
+// runProfileMode runs a contended red-black-tree point under the named
+// scheme/lock with the profiler attached and renders the requested view.
+func runProfileMode(mode, scheme, lock string, threads int, budget uint64, seed int64) {
+	cfg := tsx.DefaultConfig(threads)
+	cfg.Seed = seed
+	cfg.MemWords = 1 << 18
+	// ~40 windows across the run keeps the waterfall terminal-sized.
+	window := budget / 40
+	if window == 0 {
+		window = 1
+	}
+	res := harness.Point(cfg,
+		harness.SchemeSpec{Scheme: scheme, Lock: lock},
+		func(th *tsx.Thread) harness.Workload {
+			return harness.NewRBTree(th, 64, harness.MixExtensive)
+		},
+		harness.Config{
+			Threads:     threads,
+			CycleBudget: budget,
+			Profile:     &obs.Options{WindowCycles: window},
+		})
+	p := res.Profile
+	fmt.Printf("%s %s, %d threads, 64-node tree, 50/50 updates, %d cycles (seed %d)\n",
+		scheme, lock, threads, budget, seed)
+	fmt.Printf("profile %s: begun=%d committed=%d aborted=%d\n",
+		p.Label, p.TotalBegun, p.TotalCommits, p.TotalAborts)
+	switch mode {
+	case "waterfall":
+		fmt.Print(p.Waterfall())
+	case "heatmap":
+		fmt.Print(p.HeatmapText())
+	}
 }

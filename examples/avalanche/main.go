@@ -43,7 +43,7 @@ func run(withSCM bool) {
 	sys.Init(func(t *hle.Thread) {
 		main := hle.NewMCSLock(t)
 		if withSCM {
-			scheme = hle.ElideWithSCM(main, hle.NewMCSLock(t))
+			scheme = hle.Elide(main, hle.WithSCM(hle.NewMCSLock(t)))
 		} else {
 			scheme = hle.Elide(main)
 		}

@@ -41,9 +41,9 @@ func main() {
 		case "HLE":
 			scheme = hle.Elide(lock)
 		case "HLE-SCM":
-			scheme = hle.ElideWithSCM(lock, hle.NewMCSLock(t))
+			scheme = hle.Elide(lock, hle.WithSCM(hle.NewMCSLock(t)))
 		case "Opt-SLR":
-			scheme = hle.LockRemoval(lock, 0)
+			scheme = hle.Removal(lock)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
 			os.Exit(1)

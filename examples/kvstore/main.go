@@ -94,9 +94,9 @@ func main() {
 		{"Standard TTAS", func(t *hle.Thread) hle.Scheme { return hle.Standard(hle.NewTTASLock(t)) }},
 		{"HLE TTAS", func(t *hle.Thread) hle.Scheme { return hle.Elide(hle.NewTTASLock(t)) }},
 		{"HLE-SCM TTAS", func(t *hle.Thread) hle.Scheme {
-			return hle.ElideWithSCM(hle.NewTTASLock(t), hle.NewMCSLock(t))
+			return hle.Elide(hle.NewTTASLock(t), hle.WithSCM(hle.NewMCSLock(t)))
 		}},
-		{"Opt-SLR TTAS", func(t *hle.Thread) hle.Scheme { return hle.LockRemoval(hle.NewTTASLock(t), 0) }},
+		{"Opt-SLR TTAS", func(t *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(t)) }},
 	}
 
 	fmt.Printf("%-14s %10s %14s %10s\n", "scheme", "ops", "ops/Mcycle", "speedup")

@@ -30,7 +30,7 @@ func main() {
 			return hle.Elide(hle.NewMCSLock(t))
 		}},
 		{"HLE-SCM MCS", func(t *hle.Thread) hle.Scheme {
-			return hle.ElideWithSCM(hle.NewMCSLock(t), hle.NewMCSLock(t))
+			return hle.Elide(hle.NewMCSLock(t), hle.WithSCM(hle.NewMCSLock(t)))
 		}},
 	}
 

@@ -16,6 +16,9 @@
 //
 // # Quick start
 //
+// The package example (Example in the package test suite) is this program,
+// compiled and checked:
+//
 //	sys := hle.NewSystem(8, hle.WithSeed(42))
 //	var lock hle.Lock
 //	var counter hle.Addr
@@ -23,7 +26,7 @@
 //	sys.Init(func(t *hle.Thread) {
 //		lock = hle.NewMCSLock(t)
 //		counter = t.AllocLines(1)
-//		scheme = hle.ElideWithSCM(lock, hle.NewMCSLock(t))
+//		scheme = hle.Elide(lock, hle.WithSCM(hle.NewMCSLock(t)))
 //	})
 //	sys.Parallel(8, func(t *hle.Thread) {
 //		scheme.Setup(t)
@@ -37,13 +40,23 @@
 // Critical sections are closures because simulated hardware rollback
 // re-executes them; they must touch shared state only through the
 // simulated-memory operations on Thread, which are rolled back exactly.
+//
+// Scheme constructors take functional options: Elide(lock) is plain HLE,
+// Elide(lock, WithSCM(aux)) adds the paper's conflict management, and
+// Removal(lock, ...) selects software lock removal with Pessimistic or
+// MaxAttempts tuning. NewSystem options control the machine: WithSeed,
+// WithProfiling (abort attribution, see Profile), WithFaultInjection
+// (chaos engines), WithHardwareExtension (Chapter 7).
 package hle
 
 import (
+	"hle/internal/chaos"
 	"hle/internal/core"
+	"hle/internal/harness"
 	"hle/internal/hwext"
 	"hle/internal/locks"
 	"hle/internal/mem"
+	"hle/internal/obs"
 	"hle/internal/tsx"
 )
 
@@ -105,6 +118,24 @@ func WithConfig(fn func(*MachineConfig)) SystemOption {
 	return func(c *tsx.Config) { fn(c) }
 }
 
+// WithProfiling attaches an abort-attribution profiler to the system:
+// every transactional abort is classified (conflict on the lock line vs a
+// data line, capacity, spurious, injected, ...) with the aggressing
+// thread and conflicting cache line identified, occupancy is sampled into
+// a waterfall time series, and attempt latencies are bucketed by outcome.
+// Read the results with System.Profile. Observation is passive and the
+// collector only runs at transaction boundaries, so the simulated
+// schedule is byte-identical with profiling on or off.
+func WithProfiling(opt ProfileOptions) SystemOption {
+	return func(c *tsx.Config) { c.Observer = obs.New(opt) }
+}
+
+// WithFaultInjection installs a fault injector — typically a chaos
+// Engine — consulted by the simulator's hot paths. See NewChaosEngine.
+func WithFaultInjection(inj Injector) SystemOption {
+	return func(c *tsx.Config) { c.Injector = inj }
+}
+
 // NewSystem creates a simulated machine with the given number of hardware
 // threads (the paper's testbed exposes 8).
 func NewSystem(threads int, opts ...SystemOption) *System {
@@ -117,6 +148,17 @@ func NewSystem(threads int, opts ...SystemOption) *System {
 
 // Machine exposes the underlying simulated machine.
 func (s *System) Machine() *tsx.Machine { return s.m }
+
+// Profile returns the profiling results accumulated so far, or nil when
+// the system was built without WithProfiling. It may be called between
+// phases — collection keeps going — and its output is deterministic:
+// equal seeds produce byte-identical Profile.JSON.
+func (s *System) Profile() *Profile {
+	if col, ok := s.m.Observer().(*obs.Collector); ok {
+		return col.Profile()
+	}
+	return nil
+}
 
 // Init runs f on a single simulated thread, for allocating and populating
 // data structures before a parallel phase.
@@ -154,42 +196,135 @@ var (
 // Standard wraps lock in plain, non-speculative locking.
 func Standard(lock Lock) Scheme { return core.NewStandard(lock) }
 
-// Elide wraps lock in Haswell-style hardware lock elision (Figure 1.1).
-// It is subject to the Chapter 3 avalanche effect under conflicts.
-func Elide(lock Lock) Scheme { return core.NewHLE(lock) }
-
-// ElideWithSCM wraps lock in HLE with software-assisted conflict
-// management (Algorithm 3): aborted threads serialize on aux — which the
-// paper requires to be starvation-free, e.g. an MCS lock — and rejoin the
-// speculative run, so non-conflicting threads keep speculating.
-func ElideWithSCM(lock, aux Lock) Scheme {
-	return core.NewHLESCM(lock, aux, core.SCMConfig{})
-}
-
-// ElideWithSCMConfig is ElideWithSCM with explicit tuning.
-func ElideWithSCMConfig(lock, aux Lock, cfg core.SCMConfig) Scheme {
-	return core.NewHLESCM(lock, aux, cfg)
-}
-
 // SCMConfig tunes software-assisted conflict management.
 type SCMConfig = core.SCMConfig
 
-// LockRemoval wraps lock in optimistic software lock removal: the critical
-// section runs transactionally without reading the lock until commit time,
-// retrying up to maxAttempts times (0 selects the paper's 10) before
-// falling back to the lock.
+// schemeCfg accumulates scheme-constructor options.
+type schemeCfg struct {
+	aux         Lock
+	scm         SCMConfig
+	scmTuned    bool
+	pessimistic bool
+	maxAttempts int
+}
+
+// Option configures a scheme constructor (Elide or Removal). Options that
+// do not apply to the chosen constructor panic at construction time — a
+// misconfigured scheme is a programming error, not a runtime condition.
+type Option func(*schemeCfg)
+
+// WithSCM adds software-assisted conflict management (Algorithm 3):
+// aborted threads serialize on aux — which the paper requires to be
+// starvation-free, e.g. an MCS lock — and rejoin the speculative run, so
+// non-conflicting threads keep speculating. Applies to Elide and Removal.
+func WithSCM(aux Lock) Option {
+	return func(c *schemeCfg) { c.aux = aux }
+}
+
+// WithSCMTuning sets explicit SCM tuning (retry budget etc.). Requires
+// WithSCM.
+func WithSCMTuning(cfg SCMConfig) Option {
+	return func(c *schemeCfg) { c.scm, c.scmTuned = cfg, true }
+}
+
+// Pessimistic makes Removal give up speculation after a single failed
+// attempt (the paper's Pes-SLR variant). Applies to Removal only.
+func Pessimistic() Option {
+	return func(c *schemeCfg) { c.pessimistic = true }
+}
+
+// MaxAttempts bounds Removal's speculative retries before it falls back
+// to the lock (0 selects the paper's 10, §5.1). Applies to Removal only.
+func MaxAttempts(n int) Option {
+	return func(c *schemeCfg) { c.maxAttempts = n }
+}
+
+// apply folds opts and validates the combination for the named
+// constructor.
+func applyOptions(constructor string, opts []Option) schemeCfg {
+	var c schemeCfg
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.scmTuned && c.aux == nil {
+		panic("hle: " + constructor + ": WithSCMTuning requires WithSCM")
+	}
+	return c
+}
+
+// Elide wraps lock in Haswell-style hardware lock elision (Figure 1.1),
+// subject to the Chapter 3 avalanche effect under conflicts. WithSCM adds
+// the paper's software-assisted conflict management; WithSCMTuning sets
+// its knobs.
+func Elide(lock Lock, opts ...Option) Scheme {
+	c := applyOptions("Elide", opts)
+	if c.pessimistic || c.maxAttempts != 0 {
+		panic("hle: Elide: Pessimistic/MaxAttempts apply to Removal only")
+	}
+	if c.aux != nil {
+		return core.NewHLESCM(lock, c.aux, c.scm)
+	}
+	return core.NewHLE(lock)
+}
+
+// Removal wraps lock in software lock removal (Chapter 5): the critical
+// section runs transactionally without reading the lock until commit
+// time. By default it is optimistic, retrying up to MaxAttempts times
+// (the paper's 10) before falling back to the lock; Pessimistic gives up
+// after one failure; WithSCM serializes aborted threads on an auxiliary
+// lock instead.
+func Removal(lock Lock, opts ...Option) Scheme {
+	c := applyOptions("Removal", opts)
+	if c.aux != nil {
+		if c.pessimistic || c.maxAttempts != 0 {
+			panic("hle: Removal: WithSCM excludes Pessimistic/MaxAttempts")
+		}
+		return core.NewSLRSCM(lock, c.aux, c.scm)
+	}
+	if c.pessimistic {
+		if c.maxAttempts > 1 {
+			panic("hle: Removal: Pessimistic contradicts MaxAttempts > 1")
+		}
+		return core.NewPessimisticSLR(lock)
+	}
+	return core.NewSLR(lock, c.maxAttempts)
+}
+
+// ElideWithSCM wraps lock in HLE with software-assisted conflict
+// management over aux.
+//
+// Deprecated: use Elide(lock, WithSCM(aux)).
+func ElideWithSCM(lock, aux Lock) Scheme {
+	return Elide(lock, WithSCM(aux))
+}
+
+// ElideWithSCMConfig is ElideWithSCM with explicit tuning.
+//
+// Deprecated: use Elide(lock, WithSCM(aux), WithSCMTuning(cfg)).
+func ElideWithSCMConfig(lock, aux Lock, cfg core.SCMConfig) Scheme {
+	return Elide(lock, WithSCM(aux), WithSCMTuning(cfg))
+}
+
+// LockRemoval wraps lock in optimistic software lock removal with the
+// given speculative retry budget (0 selects the paper's 10).
+//
+// Deprecated: use Removal(lock, MaxAttempts(n)).
 func LockRemoval(lock Lock, maxAttempts int) Scheme {
-	return core.NewSLR(lock, maxAttempts)
+	return Removal(lock, MaxAttempts(maxAttempts))
 }
 
 // PessimisticLockRemoval gives up after a single speculative failure.
+//
+// Deprecated: use Removal(lock, Pessimistic()).
 func PessimisticLockRemoval(lock Lock) Scheme {
-	return core.NewPessimisticSLR(lock)
+	return Removal(lock, Pessimistic())
 }
 
 // LockRemovalWithSCM applies conflict management to lock removal.
+//
+// Deprecated: use Removal(lock, WithSCM(aux)).
 func LockRemovalWithSCM(lock, aux Lock) Scheme {
-	return core.NewSLRSCM(lock, aux, core.SCMConfig{})
+	return Removal(lock, WithSCM(aux))
 }
 
 // ElideWithHardwareExtension pairs with WithHardwareExtension: plain HLE
@@ -197,4 +332,57 @@ func LockRemovalWithSCM(lock, aux Lock) Scheme {
 // data lines (Chapter 7).
 func ElideWithHardwareExtension(lock Lock) Scheme {
 	return hwext.New(lock)
+}
+
+// Profiling re-exports (internal/obs).
+type (
+	// Profile is a profiling result: abort attribution, conflict
+	// heatmap, occupancy waterfall, and latency histograms. Render it
+	// with Profile.Text or Profile.JSON.
+	Profile = obs.Profile
+	// ProfileOptions configures WithProfiling (sampling window, heatmap
+	// bound). The zero value selects sensible defaults.
+	ProfileOptions = obs.Options
+)
+
+// Fault-injection and liveness re-exports (internal/chaos and the
+// harness watchdog), so adversarial testing is reachable from the public
+// surface.
+type (
+	// Injector is the fault-injection interface the simulator consults
+	// when one is installed (WithFaultInjection).
+	Injector = tsx.Injector
+	// Fault is one scheduled fault of a chaos engine.
+	Fault = chaos.Fault
+	// FaultKind enumerates the injectable fault kinds (abort storms,
+	// capacity squeezes, stalls, grant skew).
+	FaultKind = chaos.Kind
+	// FaultCounters tallies the faults a chaos engine delivered.
+	FaultCounters = chaos.Counters
+	// ChaosEngine is a deterministic fault injector driven by a schedule.
+	ChaosEngine = chaos.Engine
+	// WatchdogConfig arms liveness detection (livelock, starvation,
+	// deadlock) on a measurement run.
+	WatchdogConfig = harness.WatchdogConfig
+	// Watchdog is a liveness monitor built from a WatchdogConfig.
+	Watchdog = harness.Watchdog
+	// Failure is a watchdog diagnostic: which liveness property broke,
+	// where every thread was, and a crash dump of recent events.
+	Failure = harness.Failure
+)
+
+// NewChaosEngine builds a deterministic fault injector from a schedule;
+// install it with WithFaultInjection or Machine().SetInjector.
+func NewChaosEngine(faults ...Fault) *ChaosEngine { return chaos.New(faults...) }
+
+// RandomFaultSchedule draws n faults spread over horizon virtual cycles
+// across procs threads; equal seeds give equal schedules.
+func RandomFaultSchedule(seed int64, procs int, horizon uint64, n int) []Fault {
+	return chaos.RandomSchedule(seed, procs, horizon, n)
+}
+
+// NewWatchdog builds a liveness monitor for n threads; wire its Check
+// into the machine with Machine().SetWatchdog.
+func NewWatchdog(cfg WatchdogConfig, n int) *Watchdog {
+	return harness.NewWatchdog(cfg, n)
 }

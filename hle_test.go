@@ -17,7 +17,7 @@ func Example() {
 	sys.Init(func(t *hle.Thread) {
 		lock = hle.NewMCSLock(t)
 		counter = t.AllocLines(1)
-		scheme = hle.ElideWithSCM(lock, hle.NewMCSLock(t))
+		scheme = hle.Elide(lock, hle.WithSCM(hle.NewMCSLock(t)))
 	})
 	sys.Parallel(8, func(t *hle.Thread) {
 		scheme.Setup(t)
@@ -51,17 +51,17 @@ func TestEverySchemeEveryLock(t *testing.T) {
 		"Elide": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
 			return hle.Elide(mk(t))
 		},
-		"ElideWithSCM": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
-			return hle.ElideWithSCM(mk(t), hle.NewMCSLock(t))
+		"Elide+SCM": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.Elide(mk(t), hle.WithSCM(hle.NewMCSLock(t)))
 		},
-		"LockRemoval": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
-			return hle.LockRemoval(mk(t), 0)
+		"Removal": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.Removal(mk(t))
 		},
-		"PessimisticLockRemoval": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
-			return hle.PessimisticLockRemoval(mk(t))
+		"Removal-Pessimistic": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.Removal(mk(t), hle.Pessimistic())
 		},
-		"LockRemovalWithSCM": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
-			return hle.LockRemovalWithSCM(mk(t), hle.NewMCSLock(t))
+		"Removal+SCM": func(t *hle.Thread, mk func(*hle.Thread) hle.Lock) hle.Scheme {
+			return hle.Removal(mk(t), hle.WithSCM(hle.NewMCSLock(t)))
 		},
 	}
 	for ln, lmk := range lockMakers {
@@ -193,8 +193,8 @@ func TestFacadeOptions(t *testing.T) {
 		counter = th.AllocLines(1)
 		// Ideal Algorithm 3 on the nesting-capable machine, with
 		// explicit tuning.
-		scheme = hle.ElideWithSCMConfig(hle.NewMCSLock(th), hle.NewMCSLock(th),
-			hle.SCMConfig{MaxRetries: 5, Ideal: true})
+		scheme = hle.Elide(hle.NewMCSLock(th), hle.WithSCM(hle.NewMCSLock(th)),
+			hle.WithSCMTuning(hle.SCMConfig{MaxRetries: 5, Ideal: true}))
 	})
 	sys.Parallel(2, func(th *hle.Thread) {
 		scheme.Setup(th)

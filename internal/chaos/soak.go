@@ -42,6 +42,11 @@ type SoakSpec struct {
 	// soak scale, far below a hung test timeout).
 	LivelockWindow   uint64
 	StarvationWindow uint64
+	// Observer, when non-nil, is installed on the soak machine
+	// (tsx.Config.Observer) so a profiling collector can attribute the
+	// aborts the fault schedule provokes. Observation is passive: the
+	// soak runs byte-identically with or without it.
+	Observer tsx.Observer
 }
 
 // SoakResult is the outcome of one soak point.
@@ -110,6 +115,7 @@ func RunSoak(spec SoakSpec) SoakResult {
 	cfg.Seed = spec.Seed
 	cfg.MemWords = 1 << 18
 	cfg.TraceRing = 256
+	cfg.Observer = spec.Observer
 	switch spec.Scheme.Scheme {
 	case "HLE-HWExt":
 		cfg.HWExt = true

@@ -60,7 +60,9 @@ func (s *RTMLE) Run(t *tsx.Thread, cs func()) Result {
 		// attempt (which, for a queue lock, enqueues and waits).
 		if s.lock.TryAcquire(t) {
 			r.Attempts++
+			t.MarkSerial(true)
 			cs()
+			t.MarkSerial(false)
 			s.lock.Release(t)
 			r.Spec = false
 			break

@@ -135,7 +135,9 @@ func (s *Standard) Setup(t *tsx.Thread) { s.lock.Prepare(t) }
 // Run implements Scheme.
 func (s *Standard) Run(t *tsx.Thread, cs func()) Result {
 	s.lock.Acquire(t)
+	t.MarkSerial(true)
 	cs()
+	t.MarkSerial(false)
 	s.lock.Release(t)
 	r := Result{Attempts: 1, Spec: false}
 	s.record(t.ID, r)
@@ -191,7 +193,15 @@ func (s *HLE) Run(t *tsx.Thread, cs func()) Result {
 		r.Attempts++
 		s.lock.SpecAcquire(t)
 		r.Spec = t.InElision()
+		if !r.Spec {
+			// The re-issued acquire took the lock for real: this run
+			// is serialized, not speculative (profiling annotation).
+			t.MarkSerial(true)
+		}
 		cs()
+		if !r.Spec {
+			t.MarkSerial(false)
+		}
 		s.lock.SpecRelease(t)
 	})
 	s.record(t.ID, r)

@@ -102,6 +102,10 @@ func (s *HLESCM) Run(t *tsx.Thread, cs func()) Result {
 		} else {
 			s.aux.Acquire(t)
 			auxOwner = true
+			// Conflicting threads are serialized from here until the
+			// aux release; speculation resumed under the aux lock
+			// still profiles as speculation (it outranks the mark).
+			t.MarkSerial(true)
 		}
 		if retries >= s.cfg.maxRetries() {
 			// Give up: non-speculative execution under the main
@@ -124,6 +128,7 @@ func (s *HLESCM) Run(t *tsx.Thread, cs func()) Result {
 		}
 	}
 	if auxOwner {
+		t.MarkSerial(false)
 		s.aux.Release(t)
 	}
 	s.record(t.ID, r)
@@ -191,6 +196,7 @@ func (s *HLESCMMulti) Run(t *tsx.Thread, cs func()) Result {
 			}
 			s.aux[idx].Acquire(t)
 			held = idx
+			t.MarkSerial(true)
 		}
 		if retries >= s.cfg.maxRetries() {
 			r.Attempts++
@@ -207,6 +213,7 @@ func (s *HLESCMMulti) Run(t *tsx.Thread, cs func()) Result {
 		}
 	}
 	if held >= 0 {
+		t.MarkSerial(false)
 		s.aux[held].Release(t)
 	}
 	s.record(t.ID, r)

@@ -77,7 +77,9 @@ func (s *SLR) Run(t *tsx.Thread, cs func()) Result {
 	}
 	r.Attempts++
 	s.main.Acquire(t)
+	t.MarkSerial(true)
 	cs()
+	t.MarkSerial(false)
 	s.main.Release(t)
 	r.Spec = false
 	s.record(t.ID, r)
@@ -133,6 +135,7 @@ func (s *SLRSCM) Run(t *tsx.Thread, cs func()) Result {
 		} else {
 			s.aux.Acquire(t)
 			auxOwner = true
+			t.MarkSerial(true)
 		}
 		if retries >= s.cfg.maxRetries() || !st.MayRetry {
 			r.Attempts++
@@ -144,6 +147,7 @@ func (s *SLRSCM) Run(t *tsx.Thread, cs func()) Result {
 		}
 	}
 	if auxOwner {
+		t.MarkSerial(false)
 		s.aux.Release(t)
 	}
 	s.record(t.ID, r)

@@ -1,10 +1,13 @@
 package figures
 
 import (
+	"fmt"
+
 	"hle/internal/core"
 	"hle/internal/harness"
 	"hle/internal/locks"
 	"hle/internal/mem"
+	"hle/internal/obs"
 	"hle/internal/stats"
 	"hle/internal/tsx"
 )
@@ -39,7 +42,9 @@ func AblationSCMRetries(o Options) []*stats.Table {
 			Cfg: harness.Config{Threads: o.Threads, CycleBudget: o.Budget},
 		})
 	}
-	results := harness.RunPoints(o.Parallel, points)
+	results := o.runPoints(points, func(i int) string {
+		return fmt.Sprintf("retries%d", retriesSweep[i])
+	})
 	for i, r := range retriesSweep {
 		res := results[i]
 		tb.AddRow(stats.I(r), stats.F2(res.Throughput),
@@ -80,7 +85,9 @@ func AblationSpurious(o Options) []*stats.Table {
 			})
 		}
 	}
-	results := harness.RunPoints(o.Parallel, points)
+	results := o.runPoints(points, func(i int) string {
+		return fmt.Sprintf("rate%s/%s", stats.E2(rates[i/len(schemes)]), schemes[i%len(schemes)])
+	})
 	for ri, rate := range rates {
 		row := []string{stats.E2(rate)}
 		for si := range schemes {
@@ -108,8 +115,11 @@ func AblationMultiAux(o Options) []*stats.Table {
 		res  harness.Result
 	}
 	rows := make([]row, len(variants))
+	cols := make([]*obs.Collector, len(variants))
 	harness.ParallelFor(o.Parallel, len(variants), func(vi int) {
-		m := tsx.NewMachine(machineCfg(o, 64))
+		cfg := machineCfg(o, 64)
+		cols[vi] = o.attachProfile(&cfg, variants[vi])
+		m := tsx.NewMachine(cfg)
 		var s core.Scheme
 		var cells []mem.Addr
 		m.RunOne(func(t *tsx.Thread) {
@@ -152,6 +162,7 @@ func AblationMultiAux(o Options) []*stats.Table {
 	for vi, variant := range variants {
 		tb.AddRow(variant, stats.F2(rows[vi].tput),
 			stats.F2(rows[vi].res.Ops.AttemptsPerOp()), stats.F3(rows[vi].res.Ops.NonSpecFraction()))
+		o.emitProfile("hotpairs/"+variant, cols[vi])
 	}
 	return []*stats.Table{tb}
 }

@@ -5,6 +5,7 @@ import (
 
 	"hle/internal/chaos"
 	"hle/internal/harness"
+	"hle/internal/obs"
 	"hle/internal/stats"
 )
 
@@ -46,13 +47,23 @@ func ExtChaos(o Options) []*stats.Table {
 		}
 	}
 	results := make([]chaos.SoakResult, len(pts))
+	cols := make([]*obs.Collector, len(pts))
 	harness.ParallelFor(o.Parallel, len(pts), func(i int) {
 		p := pts[i]
 		s := spec
 		s.Scheme = harness.SchemeSpec{Scheme: schemes[p.si], Lock: locks[p.li]}
 		s.Seed = harness.DeriveSeed(o.Seed, p.si, p.li, p.rep)
+		if o.Profile != nil {
+			col := obs.New(*o.Profile)
+			col.SetLabel(s.Scheme.String())
+			cols[i] = col
+			s.Observer = col
+		}
 		results[i] = chaos.RunSoak(s)
 	})
+	for i, p := range pts {
+		o.emitProfile(fmt.Sprintf("%s/%s/rep%d", schemes[p.si], locks[p.li], p.rep), cols[i])
+	}
 
 	tb := &stats.Table{
 		Title: fmt.Sprintf("Extension — chaos soak: %d randomized fault schedules per point, serializability-checked, watchdogs armed", schedules),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hle/internal/harness"
+	"hle/internal/obs"
 	"hle/internal/stamp"
 	"hle/internal/stats"
 	"hle/internal/tsx"
@@ -42,11 +43,13 @@ func ExtStamp(o Options) []*stats.Table {
 		{Scheme: "Opt-SLR", Lock: "TTAS"},
 	}
 	results := make([]stamp.Result, len(apps)*len(specs))
+	cols := make([]*obs.Collector, len(results))
 	harness.ParallelFor(o.Parallel, len(results), func(i int) {
 		app, spec := apps[i/len(specs)], specs[i%len(specs)]
 		cfg := tsx.DefaultConfig(o.Threads)
 		cfg.Seed = o.Seed
 		cfg.MemWords = 1 << 19
+		cols[i] = o.attachProfile(&cfg, spec.String())
 		res, err := stamp.Run(cfg, spec, app.Make, o.Threads)
 		if err != nil {
 			panic(fmt.Sprintf("figures: %s under %v: %v", app.Name, spec, err))
@@ -54,6 +57,9 @@ func ExtStamp(o Options) []*stats.Table {
 		results[i] = res
 		harness.NotePoint()
 	})
+	for i := range cols {
+		o.emitProfile(fmt.Sprintf("%s/%s", apps[i/len(specs)].Name, specs[i%len(specs)].Scheme), cols[i])
+	}
 	for ai, app := range apps {
 		tb := &stats.Table{
 			Title: fmt.Sprintf("Extension — STAMP %s, %d threads",

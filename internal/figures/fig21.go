@@ -1,8 +1,11 @@
 package figures
 
 import (
+	"fmt"
+
 	"hle/internal/harness"
 	"hle/internal/mem"
+	"hle/internal/obs"
 	"hle/internal/stats"
 	"hle/internal/tsx"
 )
@@ -30,6 +33,7 @@ func Fig21(o Options) []*stats.Table {
 	// Flatten to one point per (size, read|write) and fan out; each point
 	// builds its own single-thread machine, so results are order-free.
 	fails := make([]float64, 2*len(sizesBytes))
+	cols := make([]*obs.Collector, len(fails))
 	harness.ParallelFor(o.Parallel, len(fails), func(i int) {
 		lines := sizesBytes[i/2] / 64
 		if lines == 0 {
@@ -48,21 +52,33 @@ func Fig21(o Options) []*stats.Table {
 				r = 30
 			}
 		}
-		fails[i] = setScan(o, lines, r, i%2 == 1)
+		fails[i], cols[i] = setScan(o, lines, r, i%2 == 1)
 		harness.NotePoint()
 	})
 	for si, bytes := range sizesBytes {
 		table.AddRow(stats.SizeLabel(bytes), stats.E2(fails[2*si]), stats.E2(fails[2*si+1]))
 	}
+	for i, col := range cols {
+		mode := "read"
+		if i%2 == 1 {
+			mode = "write"
+		}
+		o.emitProfile(fmt.Sprintf("%s-%s", stats.SizeLabel(sizesBytes[i/2]), mode), col)
+	}
 	return []*stats.Table{table}
 }
 
 // setScan runs reps transactions touching n distinct lines and returns the
-// failure fraction.
-func setScan(o Options, n, reps int, write bool) float64 {
+// failure fraction (plus the point's collector when profiling is on).
+func setScan(o Options, n, reps int, write bool) (float64, *obs.Collector) {
 	cfg := tsx.DefaultConfig(1)
 	cfg.Seed = o.Seed
 	cfg.MemWords = (n + 8) * mem.LineWords
+	mode := "read"
+	if write {
+		mode = "write"
+	}
+	col := o.attachProfile(&cfg, "RTM-scan-"+mode)
 	m := tsx.NewMachine(cfg)
 	failures := 0
 	m.RunOne(func(t *tsx.Thread) {
@@ -83,5 +99,5 @@ func setScan(o Options, n, reps int, write bool) float64 {
 			}
 		}
 	})
-	return float64(failures) / float64(reps)
+	return float64(failures) / float64(reps), col
 }

@@ -85,7 +85,7 @@ func Fig33(o Options) []*stats.Table {
 			},
 		})
 	}
-	results := harness.RunPoints(o.Parallel, points)
+	results := o.runPoints(points, func(i int) string { return "HLE " + locks[i] })
 
 	var tables []*stats.Table
 	for li, lock := range locks {

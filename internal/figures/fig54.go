@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hle/internal/harness"
+	"hle/internal/obs"
 	"hle/internal/stamp"
 	"hle/internal/stats"
 	"hle/internal/tsx"
@@ -45,11 +46,13 @@ func Fig54(o Options) []*stats.Table {
 		}
 	}
 	results := make([]stamp.Result, len(pts))
+	cols := make([]*obs.Collector, len(pts))
 	harness.ParallelFor(o.Parallel, len(pts), func(i int) {
 		p := pts[i]
 		cfg := tsx.DefaultConfig(o.Threads)
 		cfg.Seed = o.Seed
 		cfg.MemWords = 1 << 19
+		cols[i] = o.attachProfile(&cfg, p.spec.String())
 		res, err := stamp.Run(cfg, p.spec, apps[p.app].Make, o.Threads)
 		if err != nil {
 			panic(fmt.Sprintf("figures: %s under %v failed validation: %v", apps[p.app].Name, p.spec, err))
@@ -57,6 +60,9 @@ func Fig54(o Options) []*stats.Table {
 		results[i] = res
 		harness.NotePoint()
 	})
+	for i, p := range pts {
+		o.emitProfile(fmt.Sprintf("%s/%s/%s", locks[p.lock], apps[p.app].Name, p.spec.Scheme), cols[i])
+	}
 	byKey := map[[2]int]map[string]stamp.Result{}
 	for i, p := range pts {
 		key := [2]int{p.lock, p.app}

@@ -13,6 +13,7 @@ import (
 	"runtime"
 
 	"hle/internal/harness"
+	"hle/internal/obs"
 	"hle/internal/stats"
 	"hle/internal/tsx"
 )
@@ -37,6 +38,17 @@ type Options struct {
 	// derived from its declared coordinates, and output is assembled in
 	// declaration order.
 	Parallel int
+	// Profile, when non-nil, attaches a profiling collector (internal/obs)
+	// to every experiment point the figure runs. Each point owns a private
+	// collector on its own machine, so profiling composes with Parallel
+	// without races, and collection is passive — the simulated runs and
+	// the figure's tables are byte-identical with profiling on or off.
+	Profile *obs.Options
+	// ProfileSink receives each point's profile, named by the point's
+	// coordinates within the figure (e.g. "g0/HLE MCS"). Points are
+	// delivered in declaration order regardless of Parallel, so sink
+	// output is deterministic. Ignored when Profile is nil.
+	ProfileSink func(name string, p *obs.Profile)
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +74,45 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// attachProfile installs a fresh collector on cfg when profiling is on,
+// for figures that build machines directly instead of going through the
+// harness pool. Returns nil when profiling is off.
+func (o Options) attachProfile(cfg *tsx.Config, label string) *obs.Collector {
+	if o.Profile == nil {
+		return nil
+	}
+	col := obs.New(*o.Profile)
+	col.SetLabel(label)
+	cfg.Observer = col
+	return col
+}
+
+// emitProfile delivers one directly-collected profile to the sink.
+func (o Options) emitProfile(name string, col *obs.Collector) {
+	if col == nil || o.ProfileSink == nil {
+		return
+	}
+	o.ProfileSink(name, col.Profile())
+}
+
+// runPoints is harness.RunPoints with the figure's profiling wired in:
+// each point collects under o.Profile, and profiles reach the sink in
+// declaration order (named by name(i)) regardless of Parallel.
+func (o Options) runPoints(points []harness.PointSpec, name func(i int) string) []harness.Result {
+	for i := range points {
+		points[i].Cfg.Profile = o.Profile
+	}
+	results := harness.RunPoints(o.Parallel, points)
+	if o.ProfileSink != nil {
+		for i, r := range results {
+			if r.Profile != nil {
+				o.ProfileSink(name(i), r.Profile)
+			}
+		}
+	}
+	return results
 }
 
 // Figure is one reproducible experiment.
@@ -211,7 +262,10 @@ func dsRunGroups(o Options, groups []dsGroup) []map[string]harness.Result {
 			coords = append(coords, [2]int{gi, si})
 		}
 	}
-	results := harness.RunPoints(o.Parallel, points)
+	results := o.runPoints(points, func(pi int) string {
+		gi, si := coords[pi][0], coords[pi][1]
+		return fmt.Sprintf("g%d/%s", gi, groups[gi].specs[si].String())
+	})
 
 	out := make([]map[string]harness.Result, len(groups))
 	for gi, g := range groups {

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"hle/internal/harness"
+	"hle/internal/obs"
 	"hle/internal/stamp"
 	"hle/internal/stats"
 	"hle/internal/tsx"
@@ -25,10 +26,12 @@ func FigProfiles(o Options) []*stats.Table {
 	// STAMP applications, one independent point each.
 	apps := stamp.Apps()
 	stampRes := make([]stamp.Result, len(apps))
+	cols := make([]*obs.Collector, len(apps))
 	harness.ParallelFor(o.Parallel, len(apps), func(ai int) {
 		cfg := tsx.DefaultConfig(o.Threads)
 		cfg.Seed = o.Seed
 		cfg.MemWords = 1 << 19
+		cols[ai] = o.attachProfile(&cfg, spec.String())
 		res, err := stamp.Run(cfg, spec, apps[ai].Make, o.Threads)
 		if err != nil {
 			panic(err)
@@ -36,6 +39,9 @@ func FigProfiles(o Options) []*stats.Table {
 		stampRes[ai] = res
 		harness.NotePoint()
 	})
+	for ai, app := range apps {
+		o.emitProfile("stamp/"+app.Name, cols[ai])
+	}
 	for ai, app := range apps {
 		res := stampRes[ai]
 		tb.AddRow(app.Name,

@@ -11,6 +11,7 @@ import (
 	"hle/internal/core"
 	"hle/internal/hwext"
 	"hle/internal/locks"
+	"hle/internal/obs"
 	"hle/internal/stats"
 	"hle/internal/tsx"
 )
@@ -75,6 +76,12 @@ type Config struct {
 	// reported as Result.Failure instead of hanging. Nil keeps the run
 	// byte-identical to a watchdog-free build.
 	Watchdog *WatchdogConfig
+	// Profile, when non-nil, attaches a profiling collector (internal/obs)
+	// to the measurement run and delivers its Profile in the Result. The
+	// collector covers exactly the measurement (not setup/population) and
+	// is private to the run, so host-parallel points collect without
+	// races. Nil keeps the run hook-free.
+	Profile *obs.Options
 }
 
 // Result is the outcome of one measurement run.
@@ -94,6 +101,8 @@ type Result struct {
 	// A failed run's other fields cover only the progress made before the
 	// stop, and the machine's simulated state is torn — diagnostics only.
 	Failure *Failure
+	// Profile is the profiling result (nil unless Config.Profile was set).
+	Profile *obs.Profile
 }
 
 // Run executes the workload under scheme on machine m.
@@ -111,6 +120,12 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 		wd = NewWatchdog(*cfg.Watchdog, cfg.Threads)
 		m.SetWatchdog(wd.Check)
 		defer m.SetWatchdog(nil)
+	}
+	var col *obs.Collector
+	if cfg.Profile != nil {
+		col = obs.Attach(m, *cfg.Profile)
+		col.SetLabel(scheme.Name())
+		defer col.Detach()
 	}
 	var res Result
 	threads := m.Run(cfg.Threads, func(t *tsx.Thread) {
@@ -157,6 +172,12 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 		res.Throughput = float64(res.Ops.Ops) * 1e6 / float64(res.MaxClock-cfg.Warmup)
 	}
 	res.Timeline = timeline
+	if col != nil {
+		res.Profile = col.Profile()
+		// Stamp the engine's own abort total for the attribution
+		// invariant: sum(Causes) == TotalAborts == EngineAborts.
+		res.Profile.EngineAborts = res.TSX.TotalAborts()
+	}
 	return res
 }
 

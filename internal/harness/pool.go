@@ -85,6 +85,13 @@ func (p PointSpec) Run() Result {
 		acc.MaxClock += res.MaxClock
 		acc.Throughput += res.Throughput
 		acc.Timeline = res.Timeline
+		if res.Profile != nil {
+			if acc.Profile == nil {
+				acc.Profile = res.Profile
+			} else {
+				acc.Profile.Merge(res.Profile)
+			}
+		}
 		if res.Failure != nil {
 			// A watchdog stop leaves the machine torn; keep the first
 			// failure and skip the remaining repetitions.

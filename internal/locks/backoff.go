@@ -21,7 +21,9 @@ type BackoffTTAS struct {
 
 // NewBackoffTTAS allocates the lock with the default backoff window.
 func NewBackoffTTAS(t *tsx.Thread) *BackoffTTAS {
-	return &BackoffTTAS{word: t.AllocLines(1), MinDelay: 16, MaxDelay: 1024}
+	l := &BackoffTTAS{word: t.AllocLines(1), MinDelay: 16, MaxDelay: 1024}
+	t.LabelLockLines(l.word, 1, "backoff-ttas-lock")
+	return l
 }
 
 // Name implements Lock.

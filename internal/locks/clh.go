@@ -24,6 +24,8 @@ type CLH struct {
 func NewCLH(t *tsx.Thread) *CLH {
 	l := &CLH{tail: t.AllocLines(1)}
 	dummy := t.AllocLines(1) // locked = 0
+	t.LabelLockLines(l.tail, 1, "clh-tail")
+	t.LabelLockLines(dummy, 1, "clh-node")
 	t.Store(l.tail, uint64(dummy))
 	return l
 }
@@ -38,6 +40,7 @@ func (l *CLH) Fair() bool { return true }
 func (l *CLH) Prepare(t *tsx.Thread) {
 	if l.myNode[t.ID] == mem.Nil {
 		l.myNode[t.ID] = t.AllocLines(1)
+		t.LabelLockLines(l.myNode[t.ID], 1, "clh-node")
 	}
 }
 
@@ -93,6 +96,8 @@ type AdjustedCLH struct {
 func NewAdjustedCLH(t *tsx.Thread) *AdjustedCLH {
 	l := &AdjustedCLH{tail: t.AllocLines(1)}
 	dummy := t.AllocLines(1)
+	t.LabelLockLines(l.tail, 1, "adjclh-tail")
+	t.LabelLockLines(dummy, 1, "adjclh-node")
 	t.Store(l.tail, uint64(dummy))
 	return l
 }
@@ -110,6 +115,7 @@ func (l *AdjustedCLH) Addr() mem.Addr { return l.tail }
 func (l *AdjustedCLH) Prepare(t *tsx.Thread) {
 	if l.myNode[t.ID] == mem.Nil {
 		l.myNode[t.ID] = t.AllocLines(1)
+		t.LabelLockLines(l.myNode[t.ID], 1, "adjclh-node")
 	}
 }
 

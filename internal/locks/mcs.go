@@ -24,7 +24,9 @@ const (
 
 // NewMCS allocates an MCS lock with a tail word on its own cache line.
 func NewMCS(t *tsx.Thread) *MCS {
-	return &MCS{tail: t.AllocLines(1)}
+	l := &MCS{tail: t.AllocLines(1)}
+	t.LabelLockLines(l.tail, 1, "mcs-tail")
+	return l
 }
 
 // Name implements Lock.
@@ -40,6 +42,7 @@ func (l *MCS) Addr() mem.Addr { return l.tail }
 func (l *MCS) Prepare(t *tsx.Thread) {
 	if l.nodes[t.ID] == mem.Nil {
 		l.nodes[t.ID] = t.AllocLines(2)
+		t.LabelLockLines(l.nodes[t.ID], 2, "mcs-node")
 	}
 }
 

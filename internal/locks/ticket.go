@@ -21,7 +21,9 @@ const ticketOwnerOff = 1
 // NewTicket allocates a ticket lock with next and owner sharing one line,
 // as in the usual single-word implementation the paper describes.
 func NewTicket(t *tsx.Thread) *Ticket {
-	return &Ticket{next: t.AllocLines(2)}
+	l := &Ticket{next: t.AllocLines(2)}
+	t.LabelLockLines(l.next, 2, "ticket-lock")
+	return l
 }
 
 // Name implements Lock.
@@ -78,7 +80,9 @@ type AdjustedTicket struct {
 
 // NewAdjustedTicket allocates an adjusted ticket lock.
 func NewAdjustedTicket(t *tsx.Thread) *AdjustedTicket {
-	return &AdjustedTicket{next: t.AllocLines(2)}
+	l := &AdjustedTicket{next: t.AllocLines(2)}
+	t.LabelLockLines(l.next, 2, "adjticket-lock")
+	return l
 }
 
 // Name implements Lock.

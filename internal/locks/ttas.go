@@ -15,7 +15,9 @@ type TTAS struct {
 
 // NewTTAS allocates a TTAS lock on its own cache line.
 func NewTTAS(t *tsx.Thread) *TTAS {
-	return &TTAS{word: t.AllocLines(1)}
+	l := &TTAS{word: t.AllocLines(1)}
+	t.LabelLockLines(l.word, 1, "ttas-lock")
+	return l
 }
 
 // Name implements Lock.

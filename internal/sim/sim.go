@@ -48,6 +48,12 @@ type Config struct {
 	// and an identity Grant produce byte-identical schedules.
 	Grant func(procID int, clock, slice uint64) uint64
 
+	// OnGrant, when non-nil, observes every scheduler grant in issue
+	// order with the granted proc and its clock (the minimum clock in
+	// the machine). Profiling collectors sample occupancy from it. It
+	// must be passive: schedules are byte-identical with and without it.
+	OnGrant func(procID int, clock uint64)
+
 	// Watchdog, when non-nil, is consulted before every grant with the
 	// about-to-run proc's clock (the minimum clock in the machine).
 	// Returning true stops the simulation: every remaining proc unwinds
@@ -111,6 +117,7 @@ func Grants() uint64 { return grantCount.Load() }
 type sched struct {
 	quantum  uint64
 	grantFn  func(procID int, clock, slice uint64) uint64
+	onGrant  func(procID int, clock uint64)
 	watchdog func(minClock uint64) bool
 	rng      *rand.Rand
 	running  []*Proc
@@ -144,6 +151,9 @@ func (s *sched) pick() (*Proc, grantMsg) {
 		s.stopping = true
 	}
 	s.grants++
+	if s.onGrant != nil {
+		s.onGrant(p.ID, minClock)
+	}
 	var msg grantMsg
 	if s.stopping {
 		msg.stop = true
@@ -270,6 +280,7 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 	s := &sched{
 		quantum:  quantum,
 		grantFn:  cfg.Grant,
+		onGrant:  cfg.OnGrant,
 		watchdog: cfg.Watchdog,
 		rng:      rand.New(rand.NewSource(cfg.Seed*2_654_435_761 + 97)),
 		panics:   make([]any, n),

@@ -79,6 +79,9 @@ func (t *Thread) inject(line int, write bool) {
 	}
 	if abort && t.tx != nil {
 		t.ringAdd(EvInjAbort, mem.LineAddr(line), 0)
+		// The program observes an injected abort as spurious (same Cause,
+		// same Status); the flag lets profiles attribute it separately.
+		t.tx.injected = true
 		t.abortNow(CauseSpurious, 0)
 	}
 }

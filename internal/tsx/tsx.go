@@ -24,6 +24,7 @@
 package tsx
 
 import (
+	"maps"
 	"math"
 
 	"hle/internal/mem"
@@ -123,6 +124,13 @@ type Config struct {
 	// the injector: a cloned machine starts fault-free.
 	Injector Injector
 
+	// Observer, when non-nil, receives enriched transaction-boundary and
+	// scheduler-grant events for profiling (see Observer). Nil observes
+	// nothing at zero cost. Clone drops the observer: profiling
+	// collectors are per-experiment, and a shared collector would race
+	// under the host-parallel pool.
+	Observer Observer
+
 	// NestHLEInRTM, when true, lets an XACQUIRE inside an RTM
 	// transaction start lock elision (Algorithm 3 verbatim). Haswell
 	// does not support this — the paper's experiments emulate elision
@@ -152,6 +160,10 @@ func DefaultConfig(n int) Config {
 	}
 }
 
+// MaxProcs is the most simulated hardware threads a machine supports
+// (line metadata is a 64-bit thread mask).
+const MaxProcs = 64
+
 // Machine is a simulated multicore with TSX. Create one per experiment;
 // its simulated memory persists across Run calls, so a workload can be
 // populated non-transactionally and then exercised by many threads.
@@ -162,6 +174,14 @@ type Machine struct {
 
 	// ring is the flight recorder (nil unless Config.TraceRing > 0).
 	ring *traceRing
+	// obs is the profiling observer installed via Config.Observer or
+	// SetObserver (nil when profiling is off).
+	obs Observer
+	// lineLabels and lockLines are the symbolic cache-line registry fed
+	// by Thread.LabelLines/LabelLockLines; profiles resolve hot line
+	// indices through them. Nil until the first label is registered.
+	lineLabels map[int]string
+	lockLines  map[int]struct{}
 	// watchdog is the liveness check installed via SetWatchdog.
 	watchdog func(minClock uint64) bool
 	// stopped records whether the previous Run was watchdog-stopped.
@@ -217,6 +237,10 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.SpuriousPerAccess > 0 {
 		m.logOneMinusP = math.Log1p(-cfg.SpuriousPerAccess)
 	}
+	if cfg.Observer != nil {
+		m.obs = cfg.Observer
+		m.obs.BindMachine(m)
+	}
 	return m
 }
 
@@ -239,12 +263,17 @@ func (m *Machine) Clone() *Machine {
 		logOneMinusP: m.logOneMinusP,
 	}
 	// Clones start fault-free with an empty flight recorder of their own:
-	// injectors and watchdogs are per-experiment, not part of the machine
-	// image, and a shared ring would race under the host-parallel pool.
+	// injectors, observers and watchdogs are per-experiment, not part of
+	// the machine image, and a shared ring or collector would race under
+	// the host-parallel pool. Line labels ARE part of the image: they
+	// describe memory the clone copied.
 	c.cfg.Injector = nil
+	c.cfg.Observer = nil
 	if c.cfg.TraceRing > 0 {
 		c.ring = &traceRing{buf: make([]TraceEvent, c.cfg.TraceRing)}
 	}
+	c.lineLabels = maps.Clone(m.lineLabels)
+	c.lockLines = maps.Clone(m.lockLines)
 	return c
 }
 
@@ -271,6 +300,9 @@ func (m *Machine) Run(n int, body func(t *Thread)) []*Thread {
 	simCfg := sim.Config{Procs: n, Seed: m.cfg.Seed, Quantum: m.cfg.Quantum}
 	if inj := m.cfg.Injector; inj != nil {
 		simCfg.Grant = inj.Grant
+	}
+	if m.obs != nil {
+		simCfg.OnGrant = m.obs.Grant
 	}
 	simCfg.Watchdog = m.watchdog
 	sim.Run(simCfg, n, func(p *sim.Proc) {
@@ -335,6 +367,11 @@ type Thread struct {
 	// Hardware sets this state when an HLE transaction aborts: the
 	// acquiring store is re-issued once, non-transactionally.
 	elisionSuppressed bool
+
+	// serial tracks whether the thread is inside a MarkSerial region (a
+	// critical section run under a really-held lock). Pure annotation
+	// for the profiling observer; the engine never reads it.
+	serial bool
 
 	// Stats accumulates transaction outcomes for this thread.
 	Stats Stats

@@ -18,6 +18,15 @@ type txState struct {
 	abortCause   Cause
 	abortCode    uint8
 	conflictLine int
+	// aggressor is the thread whose coherence request doomed this
+	// transaction (requestor wins), or -1: profiling attribution only.
+	aggressor int8
+	// injected marks an abort forced by a fault injector; the program
+	// sees it as spurious, profiles attribute it separately.
+	injected bool
+	// beginClock is the thread's virtual clock at begin, for profiling
+	// latency attribution.
+	beginClock uint64
 
 	// HLE elision state.
 	elided     bool
@@ -66,6 +75,8 @@ func (tx *txState) reset() {
 	tx.abortCause = CauseNone
 	tx.abortCode = 0
 	tx.conflictLine = 0
+	tx.aggressor = -1
+	tx.injected = false
 	tx.elided = false
 	tx.hleOuter = false
 	tx.elidedAddr = mem.Nil
@@ -102,9 +113,13 @@ func (t *Thread) beginTx() *txState {
 	// crosses the L1 boundary — most transactions never get there, and
 	// the draw costs a Log and a Pow.
 	tx.evictAt = t.m.cfg.L1ReadLines
+	tx.beginClock = t.Clock()
 	t.tx = tx
 	t.Stats.Begun++
 	t.ringAdd(EvBegin, mem.Nil, 0)
+	if o := t.m.obs; o != nil {
+		o.TxBegin(t.ID, tx.beginClock)
+	}
 	return tx
 }
 
@@ -161,6 +176,10 @@ func (t *Thread) finishAbort() Status {
 	t.tx = nil
 	t.Stats.Aborted[tx.abortCause]++
 	t.ringAdd(EvAbort, mem.LineAddr(tx.conflictLine), uint64(tx.abortCause))
+	if o := t.m.obs; o != nil {
+		o.TxAbort(t.ID, t.Clock(), tx.beginClock, tx.abortCause,
+			tx.conflictLine, int(tx.aggressor), tx.injected, tx.elided)
+	}
 	t.Step(t.m.cfg.Costs.Abort)
 	return statusFor(tx)
 }
@@ -184,6 +203,9 @@ func (t *Thread) commit() {
 	t.clearLineBits(tx)
 	t.tx = nil
 	t.ringAdd(EvCommit, mem.Nil, uint64(tx.accesses))
+	if o := t.m.obs; o != nil {
+		o.TxCommit(t.ID, t.Clock(), tx.beginClock, tx.accesses)
+	}
 	t.Stats.Committed++
 	t.Stats.CommittedReadLines += uint64(len(tx.readLines))
 	t.Stats.CommittedWriteLines += uint64(len(tx.writeLines))
@@ -352,6 +374,11 @@ func (m *Machine) requestLine(line int, req *Thread, isWrite bool) {
 		v.tx.doomed = true
 		v.tx.abortCause = CauseConflict
 		v.tx.conflictLine = line
+		if req != nil {
+			v.tx.aggressor = int8(req.ID)
+		} else {
+			v.tx.aggressor = -1
+		}
 		if Trace != nil {
 			Trace(v.ID, EvDoomed.String(), mem.LineAddr(line), 0)
 		}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Examples smoke: build every example once, then run each and check its
+# exit status. The examples are sized to finish in about a second on the
+# simulated machine, so no iteration knobs are needed — a non-zero exit
+# (panic, serializability violation, watchdog failure) fails the job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go build ./examples/...
+
+for example in avalanche bank fairlocks kvstore quickstart; do
+    echo "==> examples/$example"
+    go run "./examples/$example" > /dev/null
+done
+
+echo "all examples passed"

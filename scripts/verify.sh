@@ -11,3 +11,6 @@ go build ./...
 go vet ./...
 go test -timeout 300s ./...
 go test -race -timeout 300s ./internal/harness/... ./internal/tsx/... ./internal/mem/...
+# The profiler is handed across host goroutines by the parallel runner, so
+# its suite runs under the race detector too.
+go test -race -count=1 -timeout 300s ./internal/obs
