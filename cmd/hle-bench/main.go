@@ -7,6 +7,12 @@
 //	hle-bench -fig 3.1 [-quick] [-threads 8] [-budget 2000000] [-seed 1] [-parallel 4]
 //	hle-bench -all [-quick] [-timing bench.json]
 //	hle-bench -fig 3.1 -profile json -profile-out profiles.json
+//	hle-bench -explore [-quick] [-parallel 4]
+//
+// -explore replaces figure generation with the bounded model-checking
+// sweep (internal/explore): every scheme crossed with every sweep lock,
+// reporting states, schedules and pruning counts per configuration. The
+// report is deterministic at any -parallel; -quick selects the CI tier.
 //
 // -profile attaches the abort-attribution profiler (internal/obs) to every
 // experiment point and emits each point's profile — cause breakdown,
@@ -27,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"hle/internal/explore"
 	"hle/internal/figures"
 	"hle/internal/harness"
 	"hle/internal/obs"
@@ -57,9 +64,11 @@ type timingReport struct {
 
 func main() {
 	var (
-		figID    = flag.String("fig", "", "figure id to run (see -list)")
-		all      = flag.Bool("all", false, "run every figure")
-		list     = flag.Bool("list", false, "list available figures")
+		figID     = flag.String("fig", "", "figure id to run (see -list)")
+		all       = flag.Bool("all", false, "run every figure")
+		list      = flag.Bool("list", false, "list available figures")
+		doExplore = flag.Bool("explore", false,
+			"run the bounded model-checking sweep (every scheme x sweep lock) instead of figures; -quick selects the CI tier")
 		quick    = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		threads  = flag.Int("threads", 8, "simulated hardware threads")
@@ -166,6 +175,8 @@ func main() {
 	}
 
 	switch {
+	case *doExplore:
+		runExplore(*quick, *parallel)
 	case *list:
 		for _, f := range figures.All() {
 			fmt.Printf("%-8s %s\n", f.ID, f.Title)
@@ -230,6 +241,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hle-bench: writing timing report: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runExplore runs the bounded model-checking sweep and prints one report
+// line per configuration, then a totals line. The output is deterministic
+// at any -parallel. Any violation prints its counterexample schedule and
+// diagnostic dump and exits nonzero.
+func runExplore(quick bool, parallel int) {
+	var states, schedules, replays, truncated uint64
+	violations := 0
+	start := time.Now()
+	for _, cfg := range explore.Battery(quick) {
+		cfg.Parallel = parallel
+		r := explore.Run(cfg)
+		fmt.Println(r.Line())
+		states += r.States
+		schedules += r.Schedules
+		replays += r.Replays
+		truncated += r.Truncated
+		if r.Violation != nil {
+			violations++
+			fmt.Printf("\n%s: %s\n%s\n", cfg.Label(), r.Violation.Error(), r.Violation.Failure.Dump())
+		}
+	}
+	// Wall time goes to stderr so stdout stays byte-identical at any
+	// -parallel value — the determinism check diffs stdout directly.
+	fmt.Printf("total: states=%d schedules=%d replays=%d truncated=%d violations=%d\n",
+		states, schedules, replays, truncated, violations)
+	fmt.Fprintf(os.Stderr, "explore: %.1fs\n", time.Since(start).Seconds())
+	if violations > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hle/internal/harness"
+	"hle/internal/mem"
+	"hle/internal/tsx"
+)
+
+// TestEngineReset covers the engine's re-run protocol: one-shot faults
+// that fired stay dead until Reset, Reset rearms them and zeroes the
+// counters, and an identical machine then reproduces the injection count
+// for count. Schedule must return a defensive copy.
+func TestEngineReset(t *testing.T) {
+	schedule := []Fault{
+		{Kind: Preempt, At: 500, Proc: -1, Line: -1, Arg: 3000},
+		{Kind: Preempt, At: 2000, Proc: -1, Line: -1, Arg: 3000},
+	}
+	e := New(schedule...)
+
+	run := func() Counters {
+		cfg := tsx.DefaultConfig(2)
+		cfg.Seed = 5
+		cfg.SpuriousPerAccess = 0
+		m := tsx.NewMachine(cfg)
+		var cells []mem.Addr
+		m.RunOne(func(th *tsx.Thread) {
+			cells = []mem.Addr{th.AllocLines(1), th.AllocLines(1)}
+		})
+		m.SetInjector(e)
+		m.Run(2, func(th *tsx.Thread) {
+			for i := 0; i < 60; i++ {
+				th.RTM(func() {
+					v := th.Load(cells[th.ID])
+					th.Work(20)
+					th.Store(cells[th.ID], v+1)
+				})
+			}
+		})
+		return e.Counters()
+	}
+
+	first := run()
+	if first.Stalls != len(schedule) {
+		t.Fatalf("first run delivered %d stalls, want %d", first.Stalls, len(schedule))
+	}
+	if first.StallCyc == 0 {
+		t.Fatal("stalls delivered but no stalled cycles recorded")
+	}
+
+	// Without Reset the one-shots are spent: a second run adds nothing.
+	if again := run(); !reflect.DeepEqual(again, first) {
+		t.Fatalf("spent one-shot faults fired again without Reset: %+v -> %+v", first, again)
+	}
+
+	e.Reset()
+	if z := e.Counters(); !reflect.DeepEqual(z, Counters{}) {
+		t.Fatalf("Reset left counters %+v", z)
+	}
+	if second := run(); !reflect.DeepEqual(second, first) {
+		t.Fatalf("rearmed schedule did not reproduce: %+v vs %+v", second, first)
+	}
+
+	got := e.Schedule()
+	if !reflect.DeepEqual(got, schedule) {
+		t.Fatalf("Schedule() = %+v, want %+v", got, schedule)
+	}
+	got[0].At = 999999
+	if e.Schedule()[0].At != 500 {
+		t.Fatal("Schedule() exposed the engine's internal fault list")
+	}
+	if s := e.String(); !strings.Contains(s, "preempt@500") {
+		t.Fatalf("String() = %q, want it to name the schedule", s)
+	}
+}
+
+// TestSoakFaultFree covers the no-faults soak path end to end: an empty
+// (non-nil) schedule suppresses random generation, nothing is injected,
+// and the result reports a clean, serializable run through Ok.
+func TestSoakFaultFree(t *testing.T) {
+	r := RunSoak(SoakSpec{
+		Scheme:   harness.SchemeSpec{Scheme: "HLE", Lock: "TTAS"},
+		Seed:     3,
+		Threads:  4,
+		Schedule: []Fault{},
+	})
+	if !r.Ok() {
+		t.Fatalf("fault-free soak failed: failure=%v checkErr=%v", r.Failure, r.CheckErr)
+	}
+	if !reflect.DeepEqual(r.Injected, Counters{}) {
+		t.Fatalf("fault-free soak injected %+v", r.Injected)
+	}
+	if len(r.Schedule) != 0 {
+		t.Fatalf("fault-free soak reports schedule %+v", r.Schedule)
+	}
+	if r.Ops != 4*60 {
+		t.Fatalf("completed %d ops, want %d", r.Ops, 4*60)
+	}
+}

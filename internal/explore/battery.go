@@ -1,0 +1,46 @@
+package explore
+
+// AllSchemes is every elision scheme the explorer can drive, in the
+// harness's canonical order.
+var AllSchemes = []string{
+	"Standard",
+	"HLE",
+	"HLE-HWExt",
+	"RTM-LE",
+	"HLE-SCM",
+	"HLE-SCM-ideal",
+	"HLE-SCM-multi",
+	"Pes-SLR",
+	"Opt-SLR",
+	"Opt-SLR-SCM",
+}
+
+// SweepLocks are the lock algorithms of the acceptance sweep: the two
+// unmodifiable spin locks plus the paper's two adjusted (elision-safe,
+// Theorems 1-2) queue locks.
+var SweepLocks = []string{"TTAS", "MCS", "AdjTicket", "AdjCLH"}
+
+// Battery returns the exploration sweep: every scheme crossed with every
+// sweep lock, plus one three-thread configuration. The quick battery runs
+// one operation per thread and is cheap enough for CI; the full battery
+// is the acceptance sweep at two operations per thread (the bounded
+// replay budget truncates the deepest transactional configurations, which
+// is the "bounded" in bounded model checking).
+func Battery(quick bool) []Config {
+	ops, budget := 2, 0
+	if quick {
+		// One op per thread, and a smaller replay budget: the optimistic
+		// SLR configurations mutate per-attempt statistics on every retry
+		// (real state, so the fingerprint cache cannot collapse them) and
+		// would otherwise dominate the tier's runtime.
+		ops, budget = 1, 20000
+	}
+	var cfgs []Config
+	for _, s := range AllSchemes {
+		for _, l := range SweepLocks {
+			cfgs = append(cfgs, Config{Scheme: s, Lock: l, Threads: 2, Ops: ops, MaxReplays: budget})
+		}
+	}
+	cfgs = append(cfgs, Config{Scheme: "Standard", Lock: "TTAS", Threads: 3, Ops: 1, MaxReplays: budget})
+	return cfgs
+}

@@ -1,0 +1,439 @@
+// Package explore is a bounded stateless model checker for the simulated
+// machine: it enumerates thread interleavings of small configurations
+// (2-3 threads executing 2-3 critical sections each) by replaying schedule
+// prefixes through the scheduler's strategy hook (sim.Strategy) and
+// branching at every grant, and checks every execution for the properties
+// the paper proves — serializability, mutual exclusion, post-release
+// lock-word restoration (Theorems 1-2), snapshot consistency (Lemma 1) —
+// plus scheme progress bounds.
+//
+// The search is breadth-first over schedule prefixes, so the first
+// violation found is a minimal-length counterexample, and it is replayed
+// deterministically: a reported schedule reproduces the violation exactly.
+// Three prunings keep the state space tractable:
+//
+//   - A state-fingerprint cache (the machine-fingerprint idiom of the
+//     engine's golden tests: memory words, line metadata, per-thread
+//     clocks, statistics and in-flight transaction state) collapses
+//     commuting "diamond" interleavings, which dominate the raw schedule
+//     count. Per-thread clocks are pure functions of each thread's local
+//     history, so genuinely equivalent interleavings really do collide.
+//   - Sleep sets (Godefroid) skip re-exploring a step that an explored
+//     sibling already covers, unless an intervening dependent step could
+//     distinguish the orders. Dependency is judged conservatively from
+//     per-grant access footprints plus transactional read/write sets, with
+//     transaction-boundary grants treated as dependent with everything.
+//     Combined with the fingerprint cache the standard soundness fix
+//     applies: the cache stores the set of procs expanded from each state,
+//     and a revisit with new allowed procs re-expands just those.
+//   - A stutter bound caps each thread's write-free grants between
+//     state-changing (write or transaction-boundary) grants by anyone:
+//     unbounded spin loops (a waiter polling a held lock) otherwise make
+//     the schedule tree infinite. Re-polling unchanged shared state is
+//     idempotent and straight-line code never runs that many write-free
+//     steps between writes, so the bound only cuts polling loops — and
+//     when every unfinished thread is capped at once, nothing can ever
+//     change again, which the explorer reports as deadlock/livelock.
+//
+// Exploration is bounded — by depth, by a solo-execution grant budget, and
+// by a replay budget — so its guarantee is exhaustiveness up to those
+// bounds, reported alongside the counts. Every frontier wave fans out
+// across host workers (harness.ParallelFor); dedup and enqueueing happen
+// sequentially in declaration order afterwards, so the explorer's output
+// is byte-identical at any parallelism.
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"hle/internal/harness"
+)
+
+// Config describes one exploration: a scheme/lock pair, a thread and
+// per-thread operation count, and the search bounds. Zero bound fields
+// select defaults.
+type Config struct {
+	// Scheme is a harness scheme name (see harness.SchemeSpec); NoLock is
+	// not explorable (it has no mutual-exclusion obligation to check).
+	Scheme string
+	// Lock is a locks.MakerByName name.
+	Lock string
+	// Threads and Ops set the configuration size: Threads threads each
+	// run Ops critical sections.
+	Threads int
+	Ops     int
+
+	// Mutant, when non-empty, replaces part of the configuration with a
+	// deliberately broken variant (see Mutants): the mutation tests that
+	// prove the checker's teeth.
+	Mutant string
+
+	// MaxDepth bounds the number of scheduling decisions per schedule
+	// (default 600); deeper frontiers are counted as truncated.
+	MaxDepth int
+	// SoloBound bounds the large scheduler slices (2^20 cycles each)
+	// granted to a sole remaining thread to finish (default 24); exceeding
+	// it is reported as a progress violation, since with every other
+	// thread finished a correct scheme always terminates. The default
+	// clears the engine's longest legitimate solo gap: the Chapter 7
+	// suspend-on-miss loop waits up to 2^20 steps of Costs.Wait (20
+	// cycles, so ~2.1e7 cycles total) before its spurious-abort escape
+	// hatch fires, which an elided thread needs when its recorded lock
+	// word can never recur (e.g. a queue-lock tail captured while a real
+	// holder was enqueued).
+	SoloBound int
+	// MaxReplays bounds the total replays (default 200000); exhausting it
+	// marks the result truncated.
+	MaxReplays int
+	// StutterBound caps the write-free grants a thread may take between
+	// state-changing (write or transaction-boundary) grants by anyone
+	// (default 4). Re-polling unchanged shared state is idempotent, so
+	// the cap only cuts spin loops — and when every unfinished thread is
+	// capped at once, nothing can ever change again: that is reported as
+	// a progress violation (deadlock/livelock).
+	StutterBound int
+	// AttemptsBound flags any single operation taking more than this many
+	// execution attempts as a progress violation (default 32; the paper's
+	// schemes bound retries at 10 before falling back to the lock).
+	AttemptsBound uint64
+
+	// NoSleepSets disables sleep-set pruning; the cross-check tests use
+	// it to verify pruning does not lose states.
+	NoSleepSets bool
+	// TrackStates records every distinct state fingerprint in the result
+	// (for the pruning cross-check tests).
+	TrackStates bool
+
+	// Parallel is the host worker count each frontier wave fans out
+	// across (<= 0 means GOMAXPROCS). The result is identical for any
+	// value.
+	Parallel int
+}
+
+func (c *Config) withDefaults() Config {
+	d := *c
+	if d.Threads == 0 {
+		d.Threads = 2
+	}
+	if d.Ops == 0 {
+		d.Ops = 2
+	}
+	if d.MaxDepth == 0 {
+		d.MaxDepth = 600
+	}
+	if d.SoloBound == 0 {
+		d.SoloBound = 24
+	}
+	if d.MaxReplays == 0 {
+		d.MaxReplays = 200000
+	}
+	if d.StutterBound == 0 {
+		d.StutterBound = 4
+	}
+	if d.AttemptsBound == 0 {
+		d.AttemptsBound = 32
+	}
+	return d
+}
+
+// Label renders the configuration for reports and failure dumps.
+func (c *Config) Label() string {
+	s := fmt.Sprintf("%s/%s %dx%d", c.Scheme, c.Lock, c.Threads, c.Ops)
+	if c.Mutant != "" {
+		s += " mutant=" + c.Mutant
+	}
+	return s
+}
+
+// Violation is one property failure, with its reproducing schedule and a
+// bounded deterministic diagnostic dump.
+type Violation struct {
+	// Kind is the property violated: serializability, mutex, consistency,
+	// lock-restore, or progress.
+	Kind string
+	// Detail is a one-line description.
+	Detail string
+	// Schedule is the branching decisions (proc IDs) reproducing the
+	// violation; forced decisions (a sole runnable proc) are not listed.
+	Schedule []uint8
+	// Failure is the diagnostic dump (harness failure-dump machinery).
+	Failure *harness.Failure
+}
+
+// Error renders the violation as a single line.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: %s (schedule %s)", v.Kind, v.Detail, FormatSchedule(v.Schedule))
+}
+
+// FormatSchedule renders a decision sequence as dot-separated proc IDs.
+func FormatSchedule(s []uint8) string {
+	if len(s) == 0 {
+		return "(empty)"
+	}
+	var b strings.Builder
+	for i, p := range s {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	return b.String()
+}
+
+// Result is the outcome of exploring one configuration.
+type Result struct {
+	Config Config
+
+	// States counts distinct state fingerprints visited.
+	States uint64
+	// Schedules counts maximal schedules: terminal executions reached.
+	Schedules uint64
+	// Truncated counts schedules cut by a bound rather than finished.
+	Truncated uint64
+	// Replays counts prefix replays executed.
+	Replays uint64
+	// Decisions counts branching scheduling decisions across all replays.
+	Decisions uint64
+
+	// FpPruned counts frontier nodes collapsed into an already-visited
+	// state; SleepPruned and StutterPruned count child branches skipped
+	// by the sleep-set and stutter prunings.
+	FpPruned      uint64
+	SleepPruned   uint64
+	StutterPruned uint64
+
+	// MaxFrontier is the deepest branching decision reached.
+	MaxFrontier int
+
+	// Violation is the first (minimal) property failure, or nil.
+	Violation *Violation
+
+	// StateFps holds every distinct state fingerprint in first-visit
+	// order (only when Config.TrackStates).
+	StateFps []uint64
+}
+
+// Line renders the result as one aligned report line.
+func (r *Result) Line() string {
+	status := "ok"
+	if r.Violation != nil {
+		status = "VIOLATION " + r.Violation.Kind
+	}
+	return fmt.Sprintf("%-28s states=%-7d schedules=%-7d truncated=%-5d replays=%-7d fp-pruned=%-6d sleep-pruned=%-6d stutter-pruned=%-6d %s",
+		r.Config.Label(), r.States, r.Schedules, r.Truncated, r.Replays,
+		r.FpPruned, r.SleepPruned, r.StutterPruned, status)
+}
+
+// node is one frontier entry: a schedule prefix plus the bookkeeping the
+// prunings need when it is processed.
+type node struct {
+	prefix []uint8
+	// inherit is the parent's final sleep set, to be filtered against
+	// this node's own incoming edge.
+	inherit []sleepEntry
+	// firstSib is the wave index of the first enqueued child of the same
+	// parent; earlier siblings occupy [firstSib, own index).
+	firstSib int
+	// stutter counts each proc's write-free grants since the last
+	// state-changing grant by anyone (parent's view; this node's own
+	// incoming grant is folded in when it is processed).
+	stutter [maxExploreProcs]uint8
+}
+
+// maxExploreProcs bounds the thread count the explorer's per-node arrays
+// support; exploration targets 2-3 threads.
+const maxExploreProcs = 8
+
+// sleepEntry is one sleep-set member: a proc whose step from the current
+// state an explored sibling already covers, with the step's footprint.
+type sleepEntry struct {
+	proc uint8
+	e    edge
+}
+
+// Run explores one configuration exhaustively (up to its bounds) and
+// returns the counts and the first violation, if any.
+func Run(cfg Config) *Result {
+	c := cfg.withDefaults()
+	if c.Threads > maxExploreProcs {
+		panic("explore: too many threads (exploration targets small configurations)")
+	}
+	res := &Result{Config: c}
+	ex := newExplorer(&c, res)
+
+	wave := []node{{prefix: nil, firstSib: 0}}
+	outs := make([]runOutcome, 0, 64)
+	visited := make(map[uint64]uint64) // fingerprint -> expanded-procs mask
+	budget := c.MaxReplays
+
+	for depth := 0; len(wave) > 0 && depth <= c.MaxDepth; depth++ {
+		if len(wave) > budget {
+			// Replay budget exhausted: everything still enqueued is
+			// truncated, not explored.
+			res.Truncated += uint64(len(wave))
+			break
+		}
+		budget -= len(wave)
+		outs = outs[:0]
+		for range wave {
+			outs = append(outs, runOutcome{})
+		}
+		harness.ParallelFor(c.Parallel, len(wave), func(i int) {
+			outs[i] = ex.replay(wave[i].prefix)
+		})
+		res.Replays += uint64(len(wave))
+
+		// Sequential merge in declaration order: deterministic at any
+		// Parallel, and breadth-first, so the first violation is minimal.
+		var next []node
+		for i := range wave {
+			nd := &wave[i]
+			out := &outs[i]
+			if out.violation != nil {
+				if res.Violation == nil {
+					res.Violation = out.violation
+				}
+				res.Truncated++
+				continue
+			}
+			if out.terminal {
+				res.Schedules++
+				continue
+			}
+			if out.truncated {
+				res.Truncated++
+				continue
+			}
+			if depth > res.MaxFrontier {
+				res.MaxFrontier = depth
+			}
+			res.Decisions++
+
+			// Fold the node's own incoming grant into the stutter
+			// counters: a write-free grant bumps its thread, a
+			// state-changing one resets everyone (whatever a polling
+			// thread re-reads may now differ).
+			myProc := -1
+			if len(nd.prefix) > 0 {
+				myProc = int(nd.prefix[len(nd.prefix)-1])
+			}
+			stutter := nd.stutter
+			if myProc >= 0 {
+				if writeFree(&out.lastEdge) {
+					stutter[myProc]++
+				} else {
+					stutter = [maxExploreProcs]uint8{}
+				}
+			}
+
+			// Deadlock rule: if every unfinished thread has exhausted
+			// its write-free budget, no thread can change shared state
+			// again — re-polls are idempotent — so the configuration
+			// can never finish from here.
+			allCapped := true
+			for _, p := range out.enabled {
+				if stutter[p] < uint8(c.StutterBound) {
+					allCapped = false
+					break
+				}
+			}
+			if allCapped {
+				if res.Violation == nil {
+					res.Violation = ex.diagnose(nd.prefix, "progress",
+						"every unfinished thread is re-polling unchanged shared state (deadlock/livelock)")
+				}
+				res.Truncated++
+				continue
+			}
+
+			// Final sleep set: parent's, plus explored earlier siblings,
+			// minus everything dependent with the edge just taken.
+			var sleep []sleepEntry
+			if !c.NoSleepSets && myProc != -1 {
+				for _, se := range nd.inherit {
+					if !dependent(&se.e, &out.lastEdge) {
+						sleep = append(sleep, se)
+					}
+				}
+				for j := nd.firstSib; j < i; j++ {
+					sib := &wave[j]
+					sp := sib.prefix[len(sib.prefix)-1]
+					se := sleepEntry{proc: sp, e: outs[j].lastEdge}
+					if !dependent(&se.e, &out.lastEdge) {
+						sleep = append(sleep, se)
+					}
+				}
+			}
+
+			// Candidate children, in ascending proc order.
+			var newMask uint64
+			var children []uint8
+			for _, p := range out.enabled {
+				if inSleep(sleep, p) {
+					res.SleepPruned++
+					continue
+				}
+				if stutter[p] >= uint8(c.StutterBound) {
+					res.StutterPruned++
+					continue
+				}
+				if visited[out.fp]&(1<<p) != 0 {
+					continue
+				}
+				newMask |= 1 << p
+				children = append(children, p)
+			}
+			if mask, seen := visited[out.fp]; seen {
+				if newMask == 0 {
+					res.FpPruned++
+					continue
+				}
+				visited[out.fp] = mask | newMask
+			} else {
+				visited[out.fp] = newMask
+				res.States++
+				if c.TrackStates {
+					res.StateFps = append(res.StateFps, out.fp)
+				}
+				if newMask == 0 {
+					// Every enabled step is covered by a sibling: the
+					// schedule closes here without being terminal.
+					continue
+				}
+			}
+
+			firstSib := len(next)
+			for _, p := range children {
+				pre := make([]uint8, len(nd.prefix)+1)
+				copy(pre, nd.prefix)
+				pre[len(nd.prefix)] = p
+				next = append(next, node{
+					prefix:   pre,
+					inherit:  sleep,
+					firstSib: firstSib,
+					stutter:  stutter,
+				})
+			}
+		}
+		if res.Violation != nil {
+			res.Truncated += uint64(len(next))
+			break
+		}
+		if depth == c.MaxDepth {
+			res.Truncated += uint64(len(next))
+			break
+		}
+		wave = next
+	}
+	return res
+}
+
+func inSleep(sleep []sleepEntry, p uint8) bool {
+	for _, se := range sleep {
+		if se.proc == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,639 @@
+package explore
+
+import (
+	"fmt"
+
+	"hle/internal/check"
+	"hle/internal/core"
+	"hle/internal/harness"
+	"hle/internal/hwext"
+	"hle/internal/locks"
+	"hle/internal/mem"
+	"hle/internal/sim"
+	"hle/internal/tsx"
+)
+
+// access is one simulated memory access observed during a grant.
+type access struct {
+	line  int
+	write bool
+}
+
+// edge is the footprint of one grant: the accesses it performed, the
+// granted thread's pre-existing transactional footprint (a foreign access
+// to any of those lines dooms the transaction, so it matters for
+// commutativity), and whether the grant crossed a transaction boundary
+// (begin/commit/abort touch line metadata wholesale and are treated as
+// dependent with everything).
+type edge struct {
+	accesses []access
+	txLines  []access
+	boundary bool
+}
+
+// writeFree reports whether the grant performed no write and crossed no
+// transaction boundary — the stutter bound only caps runs of such grants.
+func writeFree(e *edge) bool {
+	if e.boundary {
+		return false
+	}
+	for _, a := range e.accesses {
+		if a.write {
+			return false
+		}
+	}
+	return true
+}
+
+// dependent conservatively decides whether two grants from the same state
+// may fail to commute. Boundary grants depend on everything; so do silent
+// grants (no observed access: engine-internal waits — a spin's PAUSE leg,
+// the HWExt suspend loop — poll shared state without going through the
+// access path, so their order against writes is observable). Otherwise two
+// grants depend iff they touch a common line with a write involved on
+// either side, counting the threads' transactional footprints as touched
+// (a foreign write dooms the transaction).
+func dependent(a, b *edge) bool {
+	if a.boundary || b.boundary {
+		return true
+	}
+	if len(a.accesses) == 0 || len(b.accesses) == 0 {
+		return true
+	}
+	for _, x := range a.accesses {
+		if hits(b, x) {
+			return true
+		}
+	}
+	for _, y := range b.accesses {
+		if hits(a, y) {
+			return true
+		}
+	}
+	return false
+}
+
+func hits(e *edge, x access) bool {
+	for _, a := range e.accesses {
+		if a.line == x.line && (a.write || x.write) {
+			return true
+		}
+	}
+	for _, a := range e.txLines {
+		if a.line == x.line && (a.write || x.write) {
+			return true
+		}
+	}
+	return false
+}
+
+func addFootprint(s *[]access, line int, write bool) {
+	for i := range *s {
+		if (*s)[i].line == line {
+			if write {
+				(*s)[i].write = true
+			}
+			return
+		}
+	}
+	*s = append(*s, access{line: line, write: write})
+}
+
+// runOutcome is what one prefix replay reports back to the search.
+type runOutcome struct {
+	// fp and enabled describe the frontier state (prefix consumed, next
+	// decision pending); meaningful only when neither terminal nor
+	// truncated.
+	fp      uint64
+	enabled []uint8
+	// lastEdge is the footprint of the final prefix grant.
+	lastEdge edge
+	// terminal: every thread finished and the terminal checks ran.
+	terminal bool
+	// truncated: a replay bound stopped the run.
+	truncated bool
+	// violation is the first property failure observed, or nil.
+	violation *Violation
+}
+
+type explorer struct {
+	cfg *Config
+}
+
+func newExplorer(cfg *Config, _ *Result) *explorer { return &explorer{cfg: cfg} }
+
+// fpHash is the FNV-1a fingerprint mixer the engine's golden tests use.
+type fpHash uint64
+
+func newFpHash() fpHash { return 14695981039346656037 }
+
+func (h *fpHash) mix(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= 1099511628211
+		v >>= 8
+	}
+	*h = fpHash(x)
+}
+
+// machineConfig builds the deterministic exploration machine: no cost
+// jitter, no spurious aborts, no randomness consumed anywhere, so a state
+// is exactly a function of the schedule that reached it.
+func machineConfig(c *Config) tsx.Config {
+	mcfg := tsx.Config{
+		Procs:         c.Threads,
+		Seed:          1,
+		MemWords:      1 << 9, // the workloads use a few dozen words; small memory keeps per-replay setup cheap
+		WriteSetLines: 512,
+		L1ReadLines:   512,
+		ReadSetLines:  131072,
+		EvictExponent: 8,
+		PauseAborts:   true,
+		MaxTxAccesses: 1 << 20,
+		CostJitter:    -1, // negative: disabled (zero would select the default)
+		TraceRing:     64,
+		Costs:         tsx.DefaultCosts(),
+	}
+	if c.Scheme == "HLE-HWExt" {
+		mcfg = hwext.EnableOn(mcfg)
+	}
+	if c.Scheme == "HLE-SCM-ideal" {
+		mcfg.NestHLEInRTM = true
+	}
+	if c.Mutant == MutantHWExtNoSuspend {
+		mcfg = hwext.EnableOn(mcfg)
+		mcfg.HWExtNoSuspend = true
+	}
+	return mcfg
+}
+
+// replayer replays one schedule prefix on a fresh machine. It is the
+// sim.Strategy driving the run, the owner of the edge capture fed by the
+// monitor hooks, and the workload body with its inline property checks.
+type replayer struct {
+	cfg    *Config
+	prefix []uint8
+	pos    int
+	out    runOutcome
+
+	m       *tsx.Machine
+	threads []*tsx.Thread
+	lock    locks.Lock
+	scheme  core.Scheme
+	rec     *check.Recorder
+	x, y    mem.Addr
+
+	// lockWords/preLock hold the adjusted lock's word addresses and their
+	// pre-run values for the Theorems 1-2 restoration check.
+	lockWords []mem.Addr
+	preLock   []uint64
+
+	opsDone []int
+	allSpec bool
+	// nonSpecDepth counts threads currently inside the critical section
+	// non-speculatively; 2 is a mutual-exclusion violation. Speculative
+	// runs are excluded: elided critical sections may legitimately
+	// overlap, and a speculative run that breaks isolation is caught by
+	// the serializability and snapshot checks instead.
+	nonSpecDepth int
+
+	// Per-thread completing-attempt scratch (ticket, result, observed
+	// x != y), rewritten by every attempt; the values of the completing
+	// attempt survive.
+	seqScratch []uint64
+	resScratch []uint64
+	incon      []bool
+
+	// Edge capture: cur accumulates the open grant's footprint, txf the
+	// per-thread live transactional footprints.
+	cur       edge
+	txf       [][]access
+	finalNext bool
+	finalOpen bool
+
+	soloGrants int
+	stopped    bool
+}
+
+func (e *explorer) replay(prefix []uint8) runOutcome {
+	c := e.cfg
+	r := &replayer{
+		cfg:        c,
+		prefix:     prefix,
+		threads:    make([]*tsx.Thread, c.Threads),
+		opsDone:    make([]int, c.Threads),
+		seqScratch: make([]uint64, c.Threads),
+		resScratch: make([]uint64, c.Threads),
+		incon:      make([]bool, c.Threads),
+		txf:        make([][]access, c.Threads),
+		allSpec:    true,
+	}
+	m := tsx.NewMachine(machineConfig(c))
+	r.m = m
+	m.RunOne(func(t *tsx.Thread) {
+		r.lock = buildLock(c, t)
+		r.scheme = buildScheme(c, t, r.lock)
+		r.rec = check.NewRecorder(t)
+		r.x = t.AllocLines(1)
+		r.y = t.AllocLines(1)
+		switch l := r.lock.(type) {
+		case *locks.AdjustedTicket:
+			r.lockWords = []mem.Addr{l.Addr(), l.Addr() + 1}
+		case *locks.AdjustedCLH:
+			r.lockWords = []mem.Addr{l.Addr()}
+		}
+		for _, a := range r.lockWords {
+			r.preLock = append(r.preLock, m.Mem.Read(a))
+		}
+	})
+	m.SetObserver((*monitor)(r))
+	m.SetInjector((*monInj)(r))
+	m.SetStrategy(r)
+	m.Run(c.Threads, r.body)
+	m.SetStrategy(nil)
+	m.SetInjector(nil)
+	m.SetObserver(nil)
+	if !r.stopped {
+		r.out.terminal = true
+		r.terminalChecks()
+	}
+	return r.out
+}
+
+// diagnose re-replays a prefix solely to attach a machine-state dump to a
+// violation the search itself concluded (the deadlock rule, which is
+// decided from edge footprints, not from inside a replay).
+func (e *explorer) diagnose(prefix []uint8, kind, detail string) *Violation {
+	c := e.cfg
+	r := &replayer{
+		cfg:        c,
+		prefix:     prefix,
+		threads:    make([]*tsx.Thread, c.Threads),
+		opsDone:    make([]int, c.Threads),
+		seqScratch: make([]uint64, c.Threads),
+		resScratch: make([]uint64, c.Threads),
+		incon:      make([]bool, c.Threads),
+		txf:        make([][]access, c.Threads),
+		allSpec:    true,
+	}
+	m := tsx.NewMachine(machineConfig(c))
+	r.m = m
+	m.RunOne(func(t *tsx.Thread) {
+		r.lock = buildLock(c, t)
+		r.scheme = buildScheme(c, t, r.lock)
+		r.rec = check.NewRecorder(t)
+		r.x = t.AllocLines(1)
+		r.y = t.AllocLines(1)
+	})
+	m.SetObserver((*monitor)(r))
+	m.SetInjector((*monInj)(r))
+	m.SetStrategy(r)
+	m.Run(c.Threads, r.body)
+	m.SetStrategy(nil)
+	m.SetInjector(nil)
+	m.SetObserver(nil)
+	r.setViolation(kind, detail)
+	return r.out.violation
+}
+
+// buildLock and buildScheme construct the configuration's lock and scheme
+// in simulated memory, substituting the seeded mutant variants when asked.
+func buildLock(c *Config, t *tsx.Thread) locks.Lock {
+	if c.Mutant == MutantCLHBlindRelease {
+		return newBrokenCLH(t)
+	}
+	mk := locks.MakerByName(c.Lock)
+	if mk == nil {
+		panic("explore: unknown lock " + c.Lock)
+	}
+	return mk(t)
+}
+
+func buildScheme(c *Config, t *tsx.Thread, main locks.Lock) core.Scheme {
+	if c.Mutant == MutantSCMLazy {
+		return newLazySCM(main)
+	}
+	aux := func() locks.Lock { return locks.NewMCS(t) }
+	switch c.Scheme {
+	case "Standard":
+		return core.NewStandard(main)
+	case "HLE":
+		return core.NewHLE(main)
+	case "HLE-HWExt":
+		return hwext.New(main)
+	case "RTM-LE":
+		return core.NewRTMLE(main)
+	case "HLE-SCM":
+		return core.NewHLESCM(main, aux(), core.SCMConfig{})
+	case "HLE-SCM-ideal":
+		return core.NewHLESCM(main, aux(), core.SCMConfig{Ideal: true})
+	case "HLE-SCM-multi":
+		return core.NewHLESCMMulti(main, []locks.Lock{aux(), aux(), aux(), aux()}, core.SCMConfig{})
+	case "Pes-SLR":
+		return core.NewPessimisticSLR(main)
+	case "Opt-SLR":
+		return core.NewSLR(main, 0)
+	case "Opt-SLR-SCM":
+		return core.NewSLRSCM(main, aux(), core.SCMConfig{})
+	}
+	panic("explore: unknown scheme " + c.Scheme)
+}
+
+// Pick implements sim.Strategy: it forces the prefix, stops at the
+// frontier after fingerprinting the state, and plays forced endgame grants
+// (a sole unfinished thread) to termination. Every grant's target is the
+// chosen thread's clock plus one, so each grant executes exactly one
+// pending engine step — the finest interleaving granularity the machine
+// exposes.
+func (r *replayer) Pick(choices []sim.Choice) sim.Decision {
+	r.closeEdge()
+	if len(choices) == 1 {
+		// Endgame: with one unfinished thread there is nothing to
+		// branch on; play it out in large slices, bounded. A correct
+		// scheme finishes well inside the first slice (nothing is
+		// contended any more); a thread that keeps yielding is spinning
+		// on a condition no one is left to establish.
+		r.soloGrants++
+		if r.soloGrants > r.cfg.SoloBound {
+			r.setViolation("progress", fmt.Sprintf(
+				"thread %d cannot finish alone within %d large slices (every other thread is done: a correct scheme must terminate)",
+				choices[0].ProcID, r.cfg.SoloBound))
+			r.out.truncated = true
+			r.stopped = true
+			return sim.Decision{Stop: true}
+		}
+		r.openEdge(choices[0].ProcID)
+		const soloSlice = 1 << 20 // cycles per endgame grant
+		return sim.Decision{Index: 0, Target: choices[0].Clock + soloSlice}
+	}
+	if r.pos < len(r.prefix) {
+		p := int(r.prefix[r.pos])
+		r.pos++
+		for i, c := range choices {
+			if c.ProcID == p {
+				if r.pos == len(r.prefix) {
+					r.finalNext = true
+				}
+				r.openEdge(p)
+				return sim.Decision{Index: i, Target: c.Clock + 1}
+			}
+		}
+		panic(fmt.Sprintf("explore: replay diverged: proc %d not among %d choices", p, len(choices)))
+	}
+	// Frontier: capture the state and hand control back to the search.
+	r.out.fp = r.fingerprint()
+	r.out.enabled = make([]uint8, len(choices))
+	for i, c := range choices {
+		r.out.enabled[i] = uint8(c.ProcID)
+	}
+	r.stopped = true
+	return sim.Decision{Stop: true}
+}
+
+func (r *replayer) openEdge(proc int) {
+	r.cur.accesses = r.cur.accesses[:0]
+	r.cur.txLines = append(r.cur.txLines[:0], r.txf[proc]...)
+	r.cur.boundary = false
+	r.finalOpen = r.finalNext
+	r.finalNext = false
+}
+
+func (r *replayer) closeEdge() {
+	if !r.finalOpen {
+		return
+	}
+	r.out.lastEdge = edge{
+		accesses: append([]access(nil), r.cur.accesses...),
+		txLines:  append([]access(nil), r.cur.txLines...),
+		boundary: r.cur.boundary,
+	}
+	r.finalOpen = false
+}
+
+// fingerprint hashes the machine-visible state: memory words, line
+// conflict metadata, per-thread clocks, statistics, pending-reissue flags
+// and in-flight transaction state, plus the checker's own per-thread
+// progress. Thread-local register state is approximated by the clock
+// (every engine step advances it deterministically with jitter disabled);
+// the approximation is exact for schemes whose critical sections are
+// properly isolated and is validated empirically by the mutation tests.
+func (r *replayer) fingerprint() uint64 {
+	h := newFpHash()
+	mm := r.m.Mem
+	words := mm.WordsInUse()
+	h.mix(uint64(words))
+	for i := 0; i < words; i++ {
+		h.mix(mm.Read(mem.Addr(i)))
+	}
+	lines := (words + mem.LineWords - 1) / mem.LineWords
+	for l := 0; l < lines; l++ {
+		lm := mm.LineByIndex(l)
+		h.mix(lm.Readers)
+		h.mix(lm.Writers)
+	}
+	for i := 0; i < r.cfg.Threads; i++ {
+		t := r.threads[i]
+		if t == nil {
+			h.mix(0)
+			continue
+		}
+		h.mix(1)
+		h.mix(t.Clock())
+		st := t.Stats
+		h.mix(st.Begun)
+		h.mix(st.Committed)
+		for _, a := range st.Aborted {
+			h.mix(a)
+		}
+		h.mix(st.CommittedReadLines)
+		h.mix(st.CommittedWriteLines)
+		h.mix(st.CommittedAccesses)
+		if t.ReissuePending() {
+			h.mix(1)
+		} else {
+			h.mix(0)
+		}
+		t.MixTxState(h.mix)
+		h.mix(uint64(r.opsDone[i]))
+		h.mix(r.seqScratch[i])
+		h.mix(r.resScratch[i])
+		if r.incon[i] {
+			h.mix(1)
+		} else {
+			h.mix(0)
+		}
+	}
+	h.mix(uint64(r.rec.Len()))
+	h.mix(uint64(r.nonSpecDepth))
+	return uint64(h)
+}
+
+// body is the per-thread workload: Ops critical sections, each drawing a
+// serialization ticket and incrementing the two-cell counter pair, with
+// the per-operation checks applied as operations complete.
+func (r *replayer) body(t *tsx.Thread) {
+	id := t.ID
+	r.threads[id] = t
+	r.scheme.Setup(t)
+	for op := 0; op < r.cfg.Ops; op++ {
+		res := r.scheme.Run(t, func() { r.criticalSection(t) })
+		r.rec.Record(check.Op{Seq: r.seqScratch[id], Thread: id, Kind: "inc", Result: r.resScratch[id]})
+		r.opsDone[id]++
+		if !res.Spec {
+			r.allSpec = false
+		}
+		if res.Attempts > r.cfg.AttemptsBound {
+			r.setViolation("progress", fmt.Sprintf(
+				"thread %d op %d took %d execution attempts (bound %d)", id, op, res.Attempts, r.cfg.AttemptsBound))
+		}
+		if r.incon[id] {
+			r.setViolation("consistency", fmt.Sprintf(
+				"thread %d op %d completed an execution that observed x != y (Lemma 1: no consistent-snapshot guarantee)", id, op))
+		}
+	}
+}
+
+// criticalSection is the checked workload: draw a ticket, read both
+// counter cells (they live on distinct lines and are incremented together,
+// so any execution must observe them equal — the Lemma 1 snapshot
+// property), and increment both. Each increment makes the counters equal
+// the ticket sequence, so in a serializable history every operation's
+// result equals its own ticket.
+func (r *replayer) criticalSection(t *tsx.Thread) {
+	id := t.ID
+	entered := !t.InTx()
+	if entered {
+		r.nonSpecDepth++
+		if r.nonSpecDepth > 1 {
+			r.setViolation("mutex", fmt.Sprintf(
+				"thread %d entered the critical section non-speculatively while another thread held it", id))
+		}
+	}
+	r.seqScratch[id] = r.rec.Ticket(t)
+	vx := t.Load(r.x)
+	vy := t.Load(r.y)
+	r.incon[id] = vx != vy
+	t.Store(r.x, vx+1)
+	t.Store(r.y, vy+1)
+	r.resScratch[id] = vx
+	if entered {
+		r.nonSpecDepth--
+	}
+}
+
+// terminalChecks runs after every thread finished: serializability against
+// the sequential counter model, final counter values, lock released, and —
+// when every operation completed speculatively — the Theorems 1-2 bit-exact
+// lock-word restoration for the adjusted locks.
+func (r *replayer) terminalChecks() {
+	next := uint64(0)
+	model := func(string, uint64) uint64 {
+		v := next
+		next++
+		return v
+	}
+	total := uint64(r.cfg.Threads * r.cfg.Ops)
+	if got := r.rec.Len(); uint64(got) != total {
+		r.setViolation("serializability", fmt.Sprintf("%d operations recorded, %d ran", got, total))
+	} else if err := r.rec.Verify(model); err != nil {
+		r.setViolation("serializability", err.Error())
+	}
+	if fx, fy := r.m.Mem.Read(r.x), r.m.Mem.Read(r.y); fx != total || fy != total {
+		r.setViolation("serializability", fmt.Sprintf(
+			"final counters x=%d y=%d, want %d: updates were lost or duplicated", fx, fy, total))
+	}
+	held := false
+	r.m.RunOne(func(t *tsx.Thread) { held = r.lock.Held(t) })
+	if held {
+		r.setViolation("lock-restore", "main lock still held after every thread finished")
+	}
+	if r.allSpec {
+		for i, a := range r.lockWords {
+			if got := r.m.Mem.Read(a); got != r.preLock[i] {
+				r.setViolation("lock-restore", fmt.Sprintf(
+					"every critical section elided, yet lock word @%d is %d, pre-acquire value was %d (Theorems 1-2)",
+					a, got, r.preLock[i]))
+			}
+		}
+	}
+}
+
+// setViolation records the first property failure with a bounded
+// deterministic diagnostic dump of the machine at detection time.
+func (r *replayer) setViolation(kind, detail string) {
+	if r.out.violation != nil {
+		return
+	}
+	f := &harness.Failure{
+		Reason:  "explore-" + kind,
+		Thread:  -1,
+		Context: r.cfg.Label() + " schedule=" + FormatSchedule(r.prefix) + ": " + detail,
+		Events:  r.m.TraceEvents(),
+	}
+	for i := 0; i < r.cfg.Threads; i++ {
+		ts := harness.ThreadState{ID: i}
+		if t := r.threads[i]; t != nil {
+			ts.Clock = t.Clock()
+			ts.Done = r.opsDone[i] == r.cfg.Ops
+			ts.InTx = t.InTx()
+			ts.Stats = t.Stats
+			if ts.Clock > f.Clock {
+				f.Clock = ts.Clock
+			}
+		}
+		f.Threads = append(f.Threads, ts)
+	}
+	r.out.violation = &Violation{
+		Kind:     kind,
+		Detail:   detail,
+		Schedule: append([]uint8(nil), r.prefix...),
+		Failure:  f,
+	}
+}
+
+// monitor is the replayer's tsx.Observer view: transaction boundaries mark
+// the open edge and reset the thread's live transactional footprint.
+type monitor replayer
+
+func (mo *monitor) BindMachine(*tsx.Machine) {}
+
+func (mo *monitor) TxBegin(thread int, _ uint64) {
+	r := (*replayer)(mo)
+	r.cur.boundary = true
+	r.txf[thread] = r.txf[thread][:0]
+}
+
+func (mo *monitor) TxCommit(thread int, _, _ uint64, _ int) {
+	r := (*replayer)(mo)
+	r.cur.boundary = true
+	r.txf[thread] = r.txf[thread][:0]
+}
+
+func (mo *monitor) TxAbort(thread int, _, _ uint64, _ tsx.Cause, _, _ int, _, _ bool) {
+	r := (*replayer)(mo)
+	r.cur.boundary = true
+	r.txf[thread] = r.txf[thread][:0]
+}
+
+func (mo *monitor) Serial(int, uint64, bool) {}
+
+func (mo *monitor) Grant(int, uint64) {}
+
+// monInj is the replayer's tsx.Injector view: a pure tap that records
+// every access into the open edge (and the thread's transactional
+// footprint) without injecting anything.
+type monInj replayer
+
+func (mi *monInj) Access(thread int, _ uint64, line int, write, inTx bool) (uint64, bool) {
+	r := (*replayer)(mi)
+	r.cur.accesses = append(r.cur.accesses, access{line: line, write: write})
+	if inTx {
+		addFootprint(&r.txf[thread], line, write)
+	}
+	return 0, false
+}
+
+func (mi *monInj) WriteCap(_ int, _ uint64, limit int) int { return limit }
+
+func (mi *monInj) Grant(_ int, _, slice uint64) uint64 { return slice }

@@ -1,0 +1,111 @@
+package mem_test
+
+import (
+	"slices"
+	"testing"
+
+	"hle/internal/mem"
+)
+
+// FuzzSnapshotRestore drives a random allocate/write/free history against
+// a Memory, snapshots it mid-stream, keeps mutating, and then checks the
+// round trip: Restore must erase every post-snapshot effect, and a Memory
+// rebuilt with FromSnapshot must be behaviorally identical to the restored
+// one — same words, same bump pointer, and same allocator decisions when
+// the rest of the history is replayed against both. `go test` runs the
+// seed corpus; `go test -fuzz=FuzzSnapshotRestore ./internal/mem` explores.
+func FuzzSnapshotRestore(f *testing.F) {
+	f.Add([]byte{4, 0x10, 0x53, 0x22, 0xb1, 0x07, 0xe0, 0x41, 0x9c})
+	f.Add([]byte{1, 0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{0, 0xff})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 {
+			return
+		}
+		if len(ops) > 1024 {
+			ops = ops[:1024]
+		}
+		split := int(ops[0])
+		ops = ops[1:]
+		if split > len(ops) {
+			split = len(ops)
+		}
+
+		type block struct {
+			a     mem.Addr
+			n     int
+			lines bool
+		}
+		apply := func(m *mem.Memory, live []block, b byte, i int) []block {
+			switch b % 4 {
+			case 0:
+				n := 1 + int(b>>4)
+				a := m.Alloc(n)
+				m.Write(a, uint64(i)+1)
+				return append(live, block{a, n, false})
+			case 1:
+				n := 1 + int(b>>4)
+				a := m.AllocLines(n)
+				m.Write(a, uint64(i)+1)
+				return append(live, block{a, n, true})
+			case 2:
+				if len(live) == 0 {
+					return live
+				}
+				j := int(b>>2) % len(live)
+				bl := live[j]
+				if bl.lines {
+					m.FreeLines(bl.a, bl.n)
+				} else {
+					m.Free(bl.a, bl.n)
+				}
+				return slices.Delete(live, j, j+1)
+			default:
+				if n := m.WordsInUse(); n > 0 {
+					m.Write(mem.Addr(int(b>>2)*7%n), uint64(i)*0x9e3779b9)
+				}
+				return live
+			}
+		}
+
+		m := mem.New(64)
+		var live []block
+		for i, b := range ops[:split] {
+			live = apply(m, live, b, i)
+		}
+		snap := m.Snapshot()
+		liveAtSnap := slices.Clone(live)
+
+		for i, b := range ops[split:] {
+			live = apply(m, live, b, split+i)
+		}
+
+		m.Restore(snap)
+		m2 := mem.FromSnapshot(snap)
+		if !slices.Equal(m.Snapshot().Words(), snap.Words()) {
+			t.Fatal("Restore did not reproduce the snapshot's words")
+		}
+		if !slices.Equal(m2.Snapshot().Words(), snap.Words()) {
+			t.Fatal("FromSnapshot did not reproduce the snapshot's words")
+		}
+		if m.WordsInUse() != m2.WordsInUse() {
+			t.Fatalf("bump pointers diverge after round trip: restored %d, rebuilt %d",
+				m.WordsInUse(), m2.WordsInUse())
+		}
+
+		// Replaying the post-snapshot suffix against both memories must
+		// make identical allocator decisions: that pins the free lists and
+		// allocation records, which word comparison alone cannot see.
+		liveA, liveB := slices.Clone(liveAtSnap), slices.Clone(liveAtSnap)
+		for i, b := range ops[split:] {
+			liveA = apply(m, liveA, b, split+i)
+			liveB = apply(m2, liveB, b, split+i)
+			if !slices.Equal(liveA, liveB) {
+				t.Fatalf("replay op %d: allocator decisions diverge between restored and rebuilt memories", split+i)
+			}
+		}
+		if !slices.Equal(m.Snapshot().Words(), m2.Snapshot().Words()) {
+			t.Fatal("replayed histories diverge between restored and rebuilt memories")
+		}
+	})
+}

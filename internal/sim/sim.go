@@ -62,6 +62,47 @@ type Config struct {
 	// degrade a livelocked or deadlocked run into a diagnostic result
 	// instead of a hang.
 	Watchdog func(minClock uint64) bool
+
+	// Strategy, when non-nil, REPLACES the default scheduling policy: at
+	// every scheduling decision the strategy — not the fused min-clock
+	// scan plus randomized slice draw — picks which proc runs next and
+	// for how long. The model checker in internal/explore uses it to
+	// enumerate interleavings; see Strategy. In strategy mode Grant and
+	// Watchdog are ignored (the strategy subsumes both: it controls every
+	// grant and may stop the run), and the scheduler's RNG is never
+	// consulted, so a strategy-driven run is a pure function of the
+	// strategy's decisions and the workload. A nil Strategy leaves the
+	// default policy byte-identical to a build without the hook.
+	Strategy Strategy
+}
+
+// Choice is one runnable proc presented to a Strategy at a scheduling
+// decision, in ascending ProcID order.
+type Choice struct {
+	ProcID int
+	Clock  uint64
+}
+
+// Decision is a Strategy's answer to one scheduling decision.
+type Decision struct {
+	// Index selects choices[Index] as the proc to grant.
+	Index int
+	// Target is the granted proc's new clock target: the proc yields back
+	// at its first Step that reaches Target. A target at or just above
+	// the proc's current clock makes the grant a single simulated access
+	// — the granularity an interleaving explorer wants.
+	Target uint64
+	// Stop aborts the run: every remaining proc unwinds at its next Step
+	// and Run returns normally with those procs marked Stopped.
+	Stop bool
+}
+
+// Strategy decides scheduler grants in place of the default policy. Pick is
+// called with the runnable procs (ascending ProcID; always at least one)
+// each time a grant is needed, and runs on whichever goroutine holds the
+// scheduler token — implementations need no locking but must not block.
+type Strategy interface {
+	Pick(choices []Choice) Decision
 }
 
 // DefaultQuantum is used when Config.Quantum is zero. It is small enough
@@ -78,7 +119,8 @@ type Proc struct {
 	target  uint64
 	sched   *sched
 	grant   chan grantMsg
-	rng     *rand.Rand
+	rngSeed int64
+	rng     *rand.Rand // lazily built from rngSeed on first Rand()
 	stopped bool
 }
 
@@ -119,7 +161,10 @@ type sched struct {
 	grantFn  func(procID int, clock, slice uint64) uint64
 	onGrant  func(procID int, clock uint64)
 	watchdog func(minClock uint64) bool
-	rng      *rand.Rand
+	strategy Strategy
+	choices  []Choice // reused presentation buffer (strategy mode only)
+	rngSeed  int64
+	rng      *rand.Rand // lazily built from rngSeed on first default-policy pick
 	running  []*Proc
 	stopping bool
 	grants   uint64
@@ -132,6 +177,9 @@ type sched struct {
 // is swap-removed) and compute its grant. The minimum and runner-up clocks
 // come from a single fused scan. The caller must hold the token.
 func (s *sched) pick() (*Proc, grantMsg) {
+	if s.strategy != nil {
+		return s.pickStrategy()
+	}
 	running := s.running
 	minIdx := 0
 	minClock := running[0].clock
@@ -169,6 +217,13 @@ func (s *sched) pick() (*Proc, grantMsg) {
 			// and their critical sections never interleave in token
 			// order, hiding conflicts that overlap in virtual time.
 			// Real machines have scheduling noise; so does this one.
+			if s.rng == nil {
+				// Seeding is deferred to here because strategy-mode
+				// picks never draw: a model-checking replay that makes
+				// millions of Run calls would otherwise spend most of
+				// its time filling rand's 607-word state tables.
+				s.rng = rand.New(rand.NewSource(s.rngSeed))
+			}
 			slice := 1 + uint64(s.rng.Int63n(int64(s.quantum)))
 			if s.grantFn != nil {
 				slice = s.grantFn(p.ID, minClock, slice)
@@ -185,6 +240,62 @@ func (s *sched) pick() (*Proc, grantMsg) {
 			}
 		}
 		msg.target = target
+	}
+	if grantHook != nil {
+		grantHook(p.ID, msg.target, msg.stop)
+	}
+	return p, msg
+}
+
+// pickStrategy runs one scheduling decision under an installed Strategy:
+// the runnable procs are presented in ascending ProcID order (the run
+// queue's own order depends on finish-time swap removals, which a
+// strategy's choice indices must not see) and the strategy's decision is
+// applied verbatim. Once a stop has been ordered — by the strategy or by a
+// prior decision — every subsequent pick issues stop grants until the run
+// unwinds, without consulting the strategy again.
+func (s *sched) pickStrategy() (*Proc, grantMsg) {
+	running := s.running
+	s.grants++
+	var p *Proc
+	var msg grantMsg
+	if s.stopping {
+		p = running[0]
+		msg.stop = true
+	} else {
+		cs := s.choices[:0]
+		for _, q := range running {
+			c := Choice{ProcID: q.ID, Clock: q.clock}
+			i := len(cs)
+			cs = append(cs, c)
+			for i > 0 && cs[i-1].ProcID > c.ProcID {
+				cs[i] = cs[i-1]
+				i--
+			}
+			cs[i] = c
+		}
+		s.choices = cs
+		d := s.strategy.Pick(cs)
+		if d.Stop {
+			s.stopping = true
+			p = running[0]
+			msg.stop = true
+		} else {
+			if d.Index < 0 || d.Index >= len(cs) {
+				panic(fmt.Sprintf("sim: strategy picked index %d of %d choices", d.Index, len(cs)))
+			}
+			id := cs[d.Index].ProcID
+			for _, q := range running {
+				if q.ID == id {
+					p = q
+					break
+				}
+			}
+			msg.target = d.Target
+		}
+	}
+	if s.onGrant != nil {
+		s.onGrant(p.ID, p.clock)
 	}
 	if grantHook != nil {
 		grantHook(p.ID, msg.target, msg.stop)
@@ -215,8 +326,15 @@ func (s *sched) finish(p *Proc) {
 // Clock returns the proc's current virtual time in cycles.
 func (p *Proc) Clock() uint64 { return p.clock }
 
-// Rand returns the proc's deterministic random source.
-func (p *Proc) Rand() *rand.Rand { return p.rng }
+// Rand returns the proc's deterministic random source, built on first use
+// so procs that never draw (e.g. under a schedule-exploration strategy
+// with spurious aborts and jitter disabled) skip the seeding cost.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.rngSeed))
+	}
+	return p.rng
+}
 
 // Stopped reports whether the proc was unwound by a watchdog stop rather
 // than returning from its body. A stopped proc's body did not finish: its
@@ -282,9 +400,13 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 		grantFn:  cfg.Grant,
 		onGrant:  cfg.OnGrant,
 		watchdog: cfg.Watchdog,
-		rng:      rand.New(rand.NewSource(cfg.Seed*2_654_435_761 + 97)),
+		strategy: cfg.Strategy,
+		rngSeed:  cfg.Seed*2_654_435_761 + 97,
 		panics:   make([]any, n),
 		done:     make(chan struct{}, 1),
+	}
+	if s.strategy != nil {
+		s.choices = make([]Choice, 0, n)
 	}
 	procs := make([]*Proc, n)
 	for i := range procs {
@@ -295,8 +417,8 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 			// the receiver consumes exactly one message per wake, so a
 			// one-slot buffer lets the handoff complete without waiting
 			// for the receiver to reach its receive.
-			grant: make(chan grantMsg, 1),
-			rng:   rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)*7919 + 1)),
+			grant:   make(chan grantMsg, 1),
+			rngSeed: cfg.Seed*1_000_003 + int64(i)*7919 + 1,
 		}
 	}
 	s.running = make([]*Proc, n)

@@ -38,6 +38,83 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// templateFingerprint folds a machine's complete cloneable image into one
+// FNV-1a value: every memory word, every line's sharer metadata, the bump
+// pointer, and the symbolic line registry. Any byte a clone could corrupt
+// in its template shows up here.
+func templateFingerprint(m *Machine) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(m.Mem.WordsInUse()))
+	for a := 0; a < m.Mem.WordsInUse(); a++ {
+		mix(m.Mem.Read(mem.Addr(a)))
+	}
+	for l := 0; l < m.Mem.NumLines(); l++ {
+		meta := m.Mem.LineByIndex(l)
+		mix(meta.Readers)
+		mix(meta.Writers)
+	}
+	for l := 0; l < m.Mem.NumLines(); l++ {
+		if _, locked := m.lockLines[l]; locked {
+			mix(uint64(l))
+		}
+		for _, c := range m.lineLabels[l] {
+			mix(uint64(c))
+		}
+	}
+	return h
+}
+
+// TestCloneMutationLeavesTemplateUntouched: however aggressively a clone is
+// driven — transactional and plain writes, fresh allocations, new line
+// labels, a reseed — the template's complete image stays byte-identical.
+// This is the regression guard for the experiment pool, which builds one
+// populated template and hands clones to concurrent points.
+func TestCloneMutationLeavesTemplateUntouched(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Seed = 11
+	tmpl := NewMachine(cfg)
+	var cells []mem.Addr
+	tmpl.RunOne(func(th *Thread) {
+		for i := 0; i < 8; i++ {
+			c := th.AllocLines(1)
+			th.Store(c, uint64(i)*3)
+			cells = append(cells, c)
+		}
+		th.LabelLockLines(cells[0], 1, "template-lock")
+	})
+	before := templateFingerprint(tmpl)
+
+	c := tmpl.Clone()
+	c.Reseed(999)
+	c.Run(4, func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			th.RTM(func() {
+				v := th.Load(cells[th.ID])
+				th.Store(cells[th.ID], v+1)
+			})
+		}
+		th.Store(cells[7], ^uint64(0))
+		extra := th.AllocLines(2)
+		th.Store(extra, 0xdead)
+		th.LabelLockLines(extra, 1, "clone-only-label")
+	})
+
+	if after := templateFingerprint(tmpl); after != before {
+		t.Fatalf("template fingerprint changed after clone mutation: %#016x -> %#016x", before, after)
+	}
+	if cloneFp := templateFingerprint(c); cloneFp == before {
+		t.Fatal("clone fingerprint identical to template after mutation (fingerprint is blind)")
+	}
+}
+
 // TestCloneDeterminism: a clone re-running the template's workload with the
 // same seed reproduces it exactly; a reseeded clone diverges.
 func TestCloneDeterminism(t *testing.T) {

@@ -98,6 +98,12 @@ type Config struct {
 	// elided lock line do not abort; the transaction keeps running from
 	// its cache and suspends on a miss while the lock is held.
 	HWExt bool
+	// HWExtNoSuspend removes the extension's suspend-on-miss wait while
+	// keeping the rest of HWExt — the deliberately unsound variant whose
+	// elided readers can observe the Lemma 1 inconsistent snapshot. It
+	// exists solely as a seeded fault for the model checker's mutation
+	// tests (internal/explore); never set it in experiments.
+	HWExtNoSuspend bool
 	// CacheLines enables per-thread cache-locality cost modeling: each
 	// thread's accesses to lines outside its most-recent CacheLines
 	// lines pay Costs.Miss extra. Zero (the default) disables the model;
@@ -184,6 +190,8 @@ type Machine struct {
 	lockLines  map[int]struct{}
 	// watchdog is the liveness check installed via SetWatchdog.
 	watchdog func(minClock uint64) bool
+	// strategy is the scheduling strategy installed via SetStrategy.
+	strategy sim.Strategy
 	// stopped records whether the previous Run was watchdog-stopped.
 	stopped bool
 
@@ -305,6 +313,7 @@ func (m *Machine) Run(n int, body func(t *Thread)) []*Thread {
 		simCfg.OnGrant = m.obs.Grant
 	}
 	simCfg.Watchdog = m.watchdog
+	simCfg.Strategy = m.strategy
 	sim.Run(simCfg, n, func(p *sim.Proc) {
 		t := &Thread{Proc: p, m: m, bit: 1 << uint(p.ID), jitterState: uint64(m.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(p.ID+1)*0xbf58476d1ce4e5b9}
 		if m.cfg.CacheLines > 0 {

@@ -327,6 +327,13 @@ func (t *Thread) hwextMissCheck(tx *txState) {
 	if !t.m.cfg.HWExt || !tx.elided {
 		return
 	}
+	if t.m.cfg.HWExtNoSuspend {
+		// Seeded Lemma 1 fault (mutation testing): expand the footprint
+		// without waiting for the lock. Data conflicts still doom the
+		// transaction at the next access, which is exactly why the bug is
+		// a one-interleaving unsoundness rather than an obvious one.
+		return
+	}
 	const maxWaitIters = 1 << 20
 	for i := 0; ; i++ {
 		if tx.doomed {

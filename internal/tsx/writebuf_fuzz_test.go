@@ -1,0 +1,64 @@
+package tsx
+
+import (
+	"testing"
+
+	"hle/internal/mem"
+)
+
+// FuzzWriteBuf differentially fuzzes the open-addressing transactional
+// store buffer against the Go map it replaced: any divergence in get/put
+// results, visibility across reset, or entry counts is a bug in the probe
+// sequence, the epoch invalidation, or the grow rehash. `go test` runs the
+// seed corpus; `go test -fuzz=FuzzWriteBuf ./internal/tsx` explores.
+func FuzzWriteBuf(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x40, 0x01, 0x00, 0x00})
+	f.Add([]byte{0xc1, 0xff, 0x00, 0x00, 0x01, 0x01, 0xbe, 0xef})
+	f.Add([]byte{0x81, 0x01, 0x00, 0x07})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		var w writeBuf
+		w.init()
+		if len(ops) > 0 && ops[0]&1 == 1 {
+			// Start one reset short of epoch wraparound so the fuzzer also
+			// exercises the wrap path, which must clear stale slots for
+			// real instead of relying on epoch mismatch.
+			w.epoch = ^uint32(0)
+		}
+		ref := map[mem.Addr]uint64{}
+		for i := 0; i+3 < len(ops); i += 4 {
+			op := ops[i] >> 6
+			// A 14-bit address space: wide enough that grow triggers, small
+			// enough that probe chains collide and revisit slots.
+			a := mem.Addr(ops[i]&0x3f)<<8 | mem.Addr(ops[i+1])
+			v := uint64(ops[i+2])<<8 | uint64(ops[i+3])
+			switch op {
+			case 0, 1: // two opcodes: puts dominate, as in real write sets
+				_, had := ref[a]
+				if isNew := w.put(a, v); isNew == had {
+					t.Fatalf("op %d: put(%d) reported new=%v, reference had=%v", i, a, isNew, had)
+				}
+				ref[a] = v
+			case 2:
+				got, ok := w.get(a)
+				want, had := ref[a]
+				if ok != had || (had && got != want) {
+					t.Fatalf("op %d: get(%d) = %d,%v, reference %d,%v", i, a, got, ok, want, had)
+				}
+			case 3:
+				w.reset()
+				ref = map[mem.Addr]uint64{}
+			}
+		}
+		if w.n != len(ref) {
+			t.Fatalf("entry count %d, reference holds %d", w.n, len(ref))
+		}
+		for a, want := range ref {
+			if got, ok := w.get(a); !ok || got != want {
+				t.Fatalf("final sweep: get(%d) = %d,%v, reference %d,true", a, got, ok, want)
+			}
+		}
+	})
+}

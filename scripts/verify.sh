@@ -14,3 +14,11 @@ go test -race -timeout 300s ./internal/harness/... ./internal/tsx/... ./internal
 # The profiler is handed across host goroutines by the parallel runner, so
 # its suite runs under the race detector too.
 go test -race -count=1 -timeout 300s ./internal/obs
+# The explorer fans its frontier across host workers; run its suite under
+# the race detector too, but -short (the quick battery alone — the race
+# detector is ~10x, so the deeper two-op configurations stay in plain mode).
+go test -race -short -count=1 -timeout 600s ./internal/explore
+# Capped-depth model-checking smoke: every scheme x sweep lock at two
+# threads x one op with a small replay budget — under a minute, and it
+# exercises the whole replay/branch/check loop through the CLI entry point.
+go run ./cmd/hle-bench -explore -quick -parallel 2 > /dev/null
