@@ -76,7 +76,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"host workers experiment points fan out across (output is identical for any value)")
-		timing     = flag.String("timing", "", "write per-figure wall-clock/point-count JSON to this file")
+		timing     = flag.String("timing", "", "write per-figure (or, with -explore, per-configuration) wall-clock JSON to this file and print a timing summary to stderr")
+		chain      = flag.Int("chain", 0, "explore: frontiers one replay may bank past its own node (0 = default 2, negative = none)")
+		cacheMB    = flag.Int("cache-mb", 0, "explore: banked-outcome cache budget in MiB (0 = default 64, negative = unlimited)")
+		scratch    = flag.Bool("scratch", false, "explore: replay every node from scratch (same as -chain -1; the differential baseline)")
+		validate   = flag.Bool("validate-forks", false, "explore: cross-check every forked node against a scratch replay (slow; audits bit-identity)")
+		guard      = flag.String("explore-guard", "", "explore: fail if the sweep runs over 2x the quick-tier wall clock recorded in this BENCH_explore.json")
 		profile    = flag.String("profile", "", "collect per-point abort-attribution profiles: json or text")
 		profileOut = flag.String("profile-out", "", "write -profile output to this file instead of stdout")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -176,7 +181,19 @@ func main() {
 
 	switch {
 	case *doExplore:
-		runExplore(*quick, *parallel)
+		ch := *chain
+		if *scratch {
+			ch = -1
+		}
+		runExplore(exploreOpts{
+			quick:      *quick,
+			parallel:   *parallel,
+			chain:      ch,
+			cacheMB:    *cacheMB,
+			validate:   *validate,
+			timingFile: *timing,
+			guardFile:  *guard,
+		})
 	case *list:
 		for _, f := range figures.All() {
 			fmt.Printf("%-8s %s\n", f.ID, f.Title)
@@ -244,35 +261,201 @@ func main() {
 	}
 }
 
+// exploreOpts carries the -explore mode's flags.
+type exploreOpts struct {
+	quick      bool
+	parallel   int
+	chain      int
+	cacheMB    int
+	validate   bool
+	timingFile string
+	guardFile  string
+}
+
+// exploreCfgTiming is one configuration's record in the -explore -timing
+// report: wall clock, state throughput, and the fork-vs-replay breakdown
+// that makes the checkpoint-fork speedup observable rather than asserted.
+type exploreCfgTiming struct {
+	Config         string            `json:"config"`
+	Seconds        float64           `json:"seconds"`
+	States         uint64            `json:"states"`
+	StatesPerSec   float64           `json:"states_per_sec"`
+	Replays        uint64            `json:"replays"`
+	Forks          uint64            `json:"forks"`
+	ScratchReplays uint64            `json:"scratch_replays"`
+	ForkRate       float64           `json:"fork_rate"`
+	SpecWasted     uint64            `json:"spec_wasted"`
+	CacheDropped   uint64            `json:"cache_dropped"`
+	CachePeakBytes uint64            `json:"cache_peak_bytes"`
+	SuffixHist     map[string]uint64 `json:"suffix_hist"`
+}
+
+// exploreTimingReport is the -explore -timing JSON: per-configuration
+// records plus sweep totals. BENCH_explore.json embeds these reports.
+type exploreTimingReport struct {
+	Parallel   int                `json:"parallel"`
+	HostCPUs   int                `json:"host_cpus"`
+	Quick      bool               `json:"quick"`
+	ChainDepth int                `json:"chain_depth"`
+	CacheMB    int                `json:"cache_mb"`
+	Configs    []exploreCfgTiming `json:"configs"`
+	Totals     exploreCfgTiming   `json:"totals"`
+}
+
+// benchExploreFile mirrors BENCH_explore.json for the -explore-guard
+// regression check.
+type benchExploreFile struct {
+	Recorded struct {
+		Quick exploreTimingReport `json:"quick"`
+	} `json:"recorded"`
+}
+
+func suffixHistMap(r *explore.Result) map[string]uint64 {
+	m := make(map[string]uint64, len(r.SuffixHist))
+	for i, n := range r.SuffixHist {
+		if n > 0 {
+			m[explore.SuffixHistLabels[i]] = n
+		}
+	}
+	return m
+}
+
 // runExplore runs the bounded model-checking sweep and prints one report
 // line per configuration, then a totals line. The output is deterministic
-// at any -parallel. Any violation prints its counterexample schedule and
-// diagnostic dump and exits nonzero.
-func runExplore(quick bool, parallel int) {
-	var states, schedules, replays, truncated uint64
+// at any -parallel, -chain and -cache-mb (banked outcomes are bit-identical
+// to the replays they replace), so stdout diffs cleanly across modes; all
+// timing output goes to stderr or the -timing file. Any violation prints
+// its counterexample schedule and diagnostic dump and exits nonzero.
+func runExplore(o exploreOpts) {
+	var total exploreCfgTiming
+	report := exploreTimingReport{
+		Parallel:   o.parallel,
+		HostCPUs:   runtime.NumCPU(),
+		Quick:      o.quick,
+		ChainDepth: o.chain,
+		CacheMB:    o.cacheMB,
+	}
 	violations := 0
+	var schedules, truncated uint64
+	totalHist := make(map[string]uint64)
 	start := time.Now()
-	for _, cfg := range explore.Battery(quick) {
-		cfg.Parallel = parallel
+	for _, cfg := range explore.Battery(o.quick) {
+		cfg.Parallel = o.parallel
+		cfg.ChainDepth = o.chain
+		cfg.CacheMB = o.cacheMB
+		cfg.ValidateForks = o.validate
+		cfgStart := time.Now()
 		r := explore.Run(cfg)
+		secs := time.Since(cfgStart).Seconds()
 		fmt.Println(r.Line())
-		states += r.States
+		ct := exploreCfgTiming{
+			Config:         cfg.Label(),
+			Seconds:        secs,
+			States:         r.States,
+			Replays:        r.Replays,
+			Forks:          r.Forks,
+			ScratchReplays: r.ScratchReplays,
+			SpecWasted:     r.SpecWasted,
+			CacheDropped:   r.CacheDropped,
+			CachePeakBytes: r.CachePeakBytes,
+			SuffixHist:     suffixHistMap(r),
+		}
+		if secs > 0 {
+			ct.StatesPerSec = float64(r.States) / secs
+		}
+		if r.Replays > 0 {
+			ct.ForkRate = float64(r.Forks) / float64(r.Replays)
+		}
+		report.Configs = append(report.Configs, ct)
+		total.States += r.States
+		total.Replays += r.Replays
 		schedules += r.Schedules
-		replays += r.Replays
 		truncated += r.Truncated
+		total.Forks += r.Forks
+		total.ScratchReplays += r.ScratchReplays
+		total.SpecWasted += r.SpecWasted
+		total.CacheDropped += r.CacheDropped
+		if r.CachePeakBytes > total.CachePeakBytes {
+			total.CachePeakBytes = r.CachePeakBytes
+		}
+		for k, v := range ct.SuffixHist {
+			totalHist[k] += v
+		}
+		if o.timingFile != "" {
+			fmt.Fprintf(os.Stderr, "%-28s %6.2fs %9.0f states/s forks=%-7d scratch=%-7d hit=%5.1f%% wasted=%-6d peak=%.1fMB\n",
+				cfg.Label(), secs, ct.StatesPerSec, r.Forks, r.ScratchReplays,
+				100*ct.ForkRate, r.SpecWasted, float64(r.CachePeakBytes)/(1<<20))
+		}
+		if r.ForkMismatches > 0 {
+			violations++
+			fmt.Printf("\n%s: %d forked outcomes disagreed with scratch replay\n", cfg.Label(), r.ForkMismatches)
+		}
 		if r.Violation != nil {
 			violations++
 			fmt.Printf("\n%s: %s\n%s\n", cfg.Label(), r.Violation.Error(), r.Violation.Failure.Dump())
 		}
 	}
-	// Wall time goes to stderr so stdout stays byte-identical at any
-	// -parallel value — the determinism check diffs stdout directly.
+	// Totals on stdout keep the original fields only, so the line is
+	// byte-identical across chain/scratch modes and any -parallel — the
+	// determinism check diffs stdout directly.
 	fmt.Printf("total: states=%d schedules=%d replays=%d truncated=%d violations=%d\n",
-		states, schedules, replays, truncated, violations)
-	fmt.Fprintf(os.Stderr, "explore: %.1fs\n", time.Since(start).Seconds())
+		total.States, schedules, total.Replays, truncated, violations)
+	total.Seconds = time.Since(start).Seconds()
+	total.Config = "total"
+	total.SuffixHist = totalHist
+	if total.Seconds > 0 {
+		total.StatesPerSec = float64(total.States) / total.Seconds
+	}
+	if total.Replays > 0 {
+		total.ForkRate = float64(total.Forks) / float64(total.Replays)
+	}
+	report.Totals = total
+	fmt.Fprintf(os.Stderr, "explore: %.1fs forks=%d scratch=%d hit=%.1f%%\n",
+		total.Seconds, total.Forks, total.ScratchReplays, 100*total.ForkRate)
+	if o.timingFile != "" {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(o.timingFile, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hle-bench: writing explore timing report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if o.guardFile != "" {
+		guardExploreTime(o.guardFile, total.Seconds)
+	}
 	if violations > 0 {
 		os.Exit(1)
 	}
+}
+
+// guardExploreTime is the CI wall-clock regression gate: the measured
+// sweep time must stay within 2x the quick-tier time recorded in
+// BENCH_explore.json (generous enough for CI-runner noise, tight enough
+// to catch an accidental return to scratch-replay cost).
+func guardExploreTime(file string, measured float64) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hle-bench: -explore-guard: %v\n", err)
+		os.Exit(1)
+	}
+	var bench benchExploreFile
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		fmt.Fprintf(os.Stderr, "hle-bench: -explore-guard: %v\n", err)
+		os.Exit(1)
+	}
+	recorded := bench.Recorded.Quick.Totals.Seconds
+	if recorded <= 0 {
+		fmt.Fprintf(os.Stderr, "hle-bench: -explore-guard: %s records no quick-tier wall clock\n", file)
+		os.Exit(1)
+	}
+	if measured > 2*recorded {
+		fmt.Fprintf(os.Stderr, "hle-bench: -explore-guard: sweep took %.1fs, over 2x the recorded %.1fs — explore performance regressed\n",
+			measured, recorded)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "explore-guard: %.1fs within 2x of recorded %.1fs\n", measured, recorded)
 }
 
 func printTables(tables []*stats.Table, csv bool) {

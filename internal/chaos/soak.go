@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"sync"
+
 	"hle/internal/check"
 	"hle/internal/core"
 	"hle/internal/harness"
@@ -104,49 +106,154 @@ func (s *SoakSpec) defaults() {
 	}
 }
 
-// RunSoak executes one soak point. The machine is built fresh (trace ring
-// armed, waits-for monitor wired through the scheme's locks), populated
-// fault-free, then the measured run executes under the fault schedule with
-// the watchdog armed. Deterministic: equal specs produce equal results,
-// including dump bytes on failure.
-func RunSoak(spec SoakSpec) SoakResult {
+// SoakImage is the scheme-free half of a soak machine: the red-black tree
+// and recorder cell allocated and the tree populated fault-free, captured
+// as a checkpoint. Many soak points share one image — the fill depends
+// only on the image coordinates (seed, threads, keys, and the machine
+// flags some schemes require), not on which scheme or fault schedule the
+// point runs — so a battery builds each distinct image once and forks it
+// per point instead of re-filling.
+type SoakImage struct {
+	cp        *tsx.Checkpoint
+	tree      *rbtree.Tree
+	rec       *check.Recorder
+	populated map[uint64]uint64
+	seed      int64
+	threads   int
+	keys      int
+	hwExt     bool
+	nestHLE   bool
+}
+
+// soakFlags maps a scheme name to the machine flags it needs; images are
+// only shareable between specs with equal flags.
+func soakFlags(scheme string) (hwExt, nestHLE bool) {
+	switch scheme {
+	case "HLE-HWExt":
+		return true, false
+	case "HLE-SCM-ideal":
+		return false, true
+	}
+	return false, false
+}
+
+// BuildSoakImage fills a soak machine for the spec's coordinates and
+// checkpoints it. The scheme is NOT constructed here — it allocates per
+// point in RunSoakFrom, after the shared image — so the image serves every
+// scheme/lock/schedule combination with matching coordinates.
+func BuildSoakImage(spec SoakSpec) *SoakImage {
 	spec.defaults()
 	cfg := tsx.DefaultConfig(spec.Threads)
 	cfg.Seed = spec.Seed
 	cfg.MemWords = 1 << 18
 	cfg.TraceRing = 256
-	cfg.Observer = spec.Observer
-	switch spec.Scheme.Scheme {
-	case "HLE-HWExt":
-		cfg.HWExt = true
-	case "HLE-SCM-ideal":
-		cfg.NestHLEInRTM = true
+	cfg.HWExt, cfg.NestHLEInRTM = soakFlags(spec.Scheme.Scheme)
+
+	img := &SoakImage{
+		populated: map[uint64]uint64{},
+		seed:      spec.Seed,
+		threads:   spec.Threads,
+		keys:      spec.Keys,
+		hwExt:     cfg.HWExt,
+		nestHLE:   cfg.NestHLEInRTM,
 	}
 	m := tsx.NewMachine(cfg)
+	m.RunOne(func(th *tsx.Thread) {
+		img.tree = rbtree.New(th)
+		img.rec = check.NewRecorder(th)
+		for i := 0; i < spec.Keys/2; i++ {
+			k := uint64(th.Rand().Intn(spec.Keys))
+			if img.tree.Insert(th, k, k+1) {
+				img.populated[k] = k + 1
+			}
+		}
+	})
+	img.cp = m.Checkpoint()
+	return img
+}
+
+// ImageCache shares soak images across points keyed by their fill
+// coordinates. A battery sweeping many scheme × lock × schedule points
+// over the same seeds builds each distinct image once; concurrent
+// requests for the same key serialize on its build, different keys build
+// in parallel. The zero value is ready to use.
+type ImageCache struct {
+	mu sync.Mutex
+	m  map[imageKey]*imageSlot
+}
+
+type imageKey struct {
+	seed           int64
+	threads, keys  int
+	hwExt, nestHLE bool
+}
+
+type imageSlot struct {
+	once sync.Once
+	img  *SoakImage
+}
+
+// For returns the image matching spec's fill coordinates, building it on
+// first request.
+func (c *ImageCache) For(spec SoakSpec) *SoakImage {
+	spec.defaults()
+	hwExt, nestHLE := soakFlags(spec.Scheme.Scheme)
+	k := imageKey{spec.Seed, spec.Threads, spec.Keys, hwExt, nestHLE}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[imageKey]*imageSlot{}
+	}
+	s := c.m[k]
+	if s == nil {
+		s = &imageSlot{}
+		c.m[k] = s
+	}
+	c.mu.Unlock()
+	s.once.Do(func() { s.img = BuildSoakImage(spec) })
+	return s.img
+}
+
+// RunSoak executes one soak point from scratch: build and fill the
+// machine, then run the measured phase. Deterministic: equal specs produce
+// equal results, including dump bytes on failure. Batteries that share
+// coordinates across points should BuildSoakImage once and call
+// RunSoakFrom instead.
+func RunSoak(spec SoakSpec) SoakResult {
+	spec.defaults()
+	return RunSoakFrom(BuildSoakImage(spec), spec)
+}
+
+// RunSoakFrom executes one soak point on a fork of a prebuilt image: the
+// machine state is copied from the checkpoint (skipping the fill phase),
+// the scheme is constructed on the fork, and the measured run proceeds
+// exactly as a scratch run would — a fork and a scratch run of the same
+// spec return identical results. Panics if the image's coordinates do not
+// match the spec's.
+func RunSoakFrom(img *SoakImage, spec SoakSpec) SoakResult {
+	spec.defaults()
+	hwExt, nestHLE := soakFlags(spec.Scheme.Scheme)
+	if img.seed != spec.Seed || img.threads != spec.Threads || img.keys != spec.Keys ||
+		img.hwExt != hwExt || img.nestHLE != nestHLE {
+		panic("chaos: soak image coordinates do not match spec")
+	}
+	m := tsx.FromCheckpoint(img.cp)
+	m.SetObserver(spec.Observer)
 
 	mo := locks.NewMonitor()
 	sspec := spec.Scheme
 	sspec.Monitor = mo
 
 	var scheme core.Scheme
-	var tree *rbtree.Tree
-	var rec *check.Recorder
-	populated := map[uint64]uint64{}
 	m.RunOne(func(th *tsx.Thread) {
 		if spec.MkScheme != nil {
 			scheme = spec.MkScheme(th)
 		} else {
 			scheme = sspec.Build(th)
 		}
-		tree = rbtree.New(th)
-		rec = check.NewRecorder(th)
-		for i := 0; i < spec.Keys/2; i++ {
-			k := uint64(th.Rand().Intn(spec.Keys))
-			if tree.Insert(th, k, k+1) {
-				populated[k] = k + 1
-			}
-		}
 	})
+	tree := img.tree
+	rec := img.rec.Fresh()
+	populated := img.populated
 
 	schedule := spec.Schedule
 	if schedule == nil {

@@ -44,6 +44,14 @@ func NewRecorder(t *tsx.Thread) *Recorder {
 	return &Recorder{seqCell: t.AllocLines(1)}
 }
 
+// Fresh returns a new Recorder sharing this one's ticket cell with an
+// empty log. It exists for checkpoint forking: the cell's allocation and
+// contents live in simulated memory (captured by a machine checkpoint),
+// so a forked run needs only a fresh Go-side log bound to the same cell.
+func (r *Recorder) Fresh() *Recorder {
+	return &Recorder{seqCell: r.seqCell}
+}
+
 // Ticket draws the next serialization ticket; call it inside the critical
 // section (it performs a transactional read-modify-write of the shared
 // cell, so it orders exactly like the operation's own accesses).

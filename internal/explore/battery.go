@@ -42,5 +42,16 @@ func Battery(quick bool) []Config {
 		}
 	}
 	cfgs = append(cfgs, Config{Scheme: "Standard", Lock: "TTAS", Threads: 3, Ops: 1, MaxReplays: budget})
+	if !quick {
+		// Deeper configurations, reachable since checkpoint-fork replay
+		// chaining halved the per-replay cost: three threads at full depth
+		// and a four-thread single-op sweep. The replay budget still
+		// bounds the transactional ones.
+		cfgs = append(cfgs,
+			Config{Scheme: "Standard", Lock: "TTAS", Threads: 3, Ops: 2},
+			Config{Scheme: "HLE", Lock: "TTAS", Threads: 3, Ops: 2},
+			Config{Scheme: "Standard", Lock: "TTAS", Threads: 4, Ops: 1},
+		)
+	}
 	return cfgs
 }

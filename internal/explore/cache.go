@@ -1,0 +1,121 @@
+package explore
+
+// specCache banks chained-replay outcomes until the wave that needs them.
+// It is keyed by exact prefix, partitioned by prefix length so dead
+// generations purge in O(1) map drops: breadth-first search visits each
+// prefix length exactly once, so after the wave of length n has consumed
+// its hits every remaining length-n entry is unreachable forever.
+//
+// The cache is NOT an LRU: all inserts and lookups happen sequentially in
+// the merge loop's deterministic order, and eviction is by generation
+// (purge) plus a hard byte budget at insert (reject, never evict — an
+// evicted entry would change which nodes fork, and while that could never
+// change the search's RESULTS, it would make fork/replay statistics depend
+// on insert timing). Rejects and purges are counted so a too-small budget
+// is visible in the timing report rather than silent.
+type specCache struct {
+	byLen   map[int]map[string]runOutcome
+	bytes   int64
+	peak    int64
+	budget  int64 // <= 0: unlimited
+	dropped uint64
+}
+
+// testCorruptBank, when non-nil, mutates every outcome as it is banked.
+// The stale-checkpoint mutation tests install it to prove the
+// fork-validation mode catches a bank that disagrees with scratch replay;
+// production code must leave it nil.
+var testCorruptBank func(prefix []uint8, o *runOutcome)
+
+func newSpecCache(budget int64) *specCache {
+	return &specCache{byLen: make(map[int]map[string]runOutcome), budget: budget}
+}
+
+// outcomeBytes estimates an entry's memory footprint: map overhead, the
+// prefix key, and the outcome's slices.
+func outcomeBytes(prefixLen int, o *runOutcome) int64 {
+	return int64(96 + prefixLen + len(o.enabled) +
+		16*(len(o.lastEdge.accesses)+len(o.lastEdge.txLines)))
+}
+
+func (sc *specCache) put(prefix []uint8, o runOutcome) {
+	if testCorruptBank != nil {
+		testCorruptBank(prefix, &o)
+	}
+	sz := outcomeBytes(len(prefix), &o)
+	if sc.budget > 0 && sc.bytes+sz > sc.budget {
+		sc.dropped++
+		return
+	}
+	m := sc.byLen[len(prefix)]
+	if m == nil {
+		m = make(map[string]runOutcome)
+		sc.byLen[len(prefix)] = m
+	}
+	m[string(prefix)] = o
+	sc.bytes += sz
+	if sc.bytes > sc.peak {
+		sc.peak = sc.bytes
+	}
+}
+
+func (sc *specCache) take(prefix []uint8) (runOutcome, bool) {
+	m := sc.byLen[len(prefix)]
+	if m == nil {
+		return runOutcome{}, false
+	}
+	o, ok := m[string(prefix)]
+	if !ok {
+		return runOutcome{}, false
+	}
+	delete(m, string(prefix))
+	sc.bytes -= outcomeBytes(len(prefix), &o)
+	return o, true
+}
+
+// purgeLen drops every entry of one prefix length, counting them as wasted
+// speculation.
+func (sc *specCache) purgeLen(n int, wasted *uint64) {
+	m := sc.byLen[n]
+	if m == nil {
+		return
+	}
+	for k, o := range m {
+		*wasted++
+		sc.bytes -= outcomeBytes(len(k), &o)
+	}
+	delete(sc.byLen, n)
+}
+
+// drainAll purges every remaining generation (search over: bound hit or
+// violation found).
+func (sc *specCache) drainAll(wasted *uint64) {
+	for n := range sc.byLen {
+		sc.purgeLen(n, wasted)
+	}
+}
+
+// suffixBucket maps a scratch replay's prefix length to its histogram
+// bucket; bucket 0 is reserved for forked nodes (nothing re-executed).
+// See Result.SuffixHist.
+func suffixBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 1
+	case n <= 4:
+		return 2
+	case n <= 8:
+		return 3
+	case n <= 16:
+		return 4
+	case n <= 32:
+		return 5
+	case n <= 64:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// SuffixHistLabels names Result.SuffixHist's buckets for reports.
+var SuffixHistLabels = [8]string{"fork", "≤1", "≤4", "≤8", "≤16", "≤32", "≤64", ">64"}

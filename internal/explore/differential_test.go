@@ -1,0 +1,147 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// differentialConfigs samples the scheme/lock space for chain-vs-scratch
+// equivalence checks: a plain lock, both adjusted protocols (whose
+// invariant checks read extra lock words), an SCM scheme (aux lock in the
+// template image), and a three-thread configuration.
+func differentialConfigs() []Config {
+	return []Config{
+		{Scheme: "Standard", Lock: "TTAS", Threads: 2, Ops: 1},
+		{Scheme: "HLE", Lock: "AdjTicket", Threads: 2, Ops: 1},
+		{Scheme: "Opt-SLR-SCM", Lock: "AdjCLH", Threads: 2, Ops: 1},
+		{Scheme: "HLE-SCM", Lock: "MCS", Threads: 2, Ops: 1},
+		{Scheme: "Standard", Lock: "TTAS", Threads: 3, Ops: 1, MaxReplays: 20000},
+	}
+}
+
+// TestChainMatchesScratch is the top-level differential: a chained, forking
+// search must report exactly what an all-scratch search reports — same
+// summary line, same distinct-state fingerprint sequence, same violation —
+// at every chain depth. Only the fork/replay accounting may differ.
+func TestChainMatchesScratch(t *testing.T) {
+	for _, base := range differentialConfigs() {
+		scratch := base
+		scratch.TrackStates = true
+		scratch.ChainDepth = -1
+		want := Run(scratch)
+		for _, depth := range []int{1, 2, 8} {
+			cfg := base
+			cfg.TrackStates = true
+			cfg.ChainDepth = depth
+			got := Run(cfg)
+			if got.Line() != want.Line() {
+				t.Errorf("%s: chain depth %d changed the report:\n  scratch: %s\n  chained: %s",
+					base.Label(), depth, want.Line(), got.Line())
+			}
+			if !reflect.DeepEqual(got.StateFps, want.StateFps) {
+				t.Errorf("%s: chain depth %d changed the state fingerprint sequence", base.Label(), depth)
+			}
+			if depth == 2 && got.Forks == 0 {
+				t.Errorf("%s: no forks at chain depth %d; differential is vacuous", base.Label(), depth)
+			}
+		}
+	}
+}
+
+// TestChainMatchesScratchOnMutants runs the differential over the seeded
+// faults: forking must find the same violation kind and the same minimal
+// counterexample schedule as scratch replay.
+func TestChainMatchesScratchOnMutants(t *testing.T) {
+	for _, cfg := range Mutants() {
+		scratchCfg := cfg
+		scratchCfg.ChainDepth = -1
+		want := Run(scratchCfg)
+		got := Run(cfg)
+		if want.Violation == nil || got.Violation == nil {
+			t.Fatalf("%s: seeded fault not detected (scratch %v, chained %v)",
+				cfg.Label(), want.Violation != nil, got.Violation != nil)
+		}
+		if got.Violation.Kind != want.Violation.Kind ||
+			!reflect.DeepEqual(got.Violation.Schedule, want.Violation.Schedule) {
+			t.Errorf("%s: counterexample differs:\n  scratch: %s %s\n  chained: %s %s",
+				cfg.Label(), want.Violation.Kind, FormatSchedule(want.Violation.Schedule),
+				got.Violation.Kind, FormatSchedule(got.Violation.Schedule))
+		}
+	}
+}
+
+// TestValidateForksClean re-runs every fork from scratch in-line and
+// compares the complete outcome — fingerprint, enabled set, sleep-relevant
+// footprint edge, violation, terminal flags. A healthy bank must produce
+// zero mismatches; this is the per-node differential behind the aggregate
+// checks above.
+func TestValidateForksClean(t *testing.T) {
+	for _, base := range []Config{
+		{Scheme: "HLE", Lock: "TTAS", Threads: 2, Ops: 1},
+		{Scheme: "Opt-SLR", Lock: "AdjCLH", Threads: 2, Ops: 1},
+	} {
+		cfg := base
+		cfg.ValidateForks = true
+		r := Run(cfg)
+		if r.Forks == 0 {
+			t.Fatalf("%s: validation ran but nothing forked", cfg.Label())
+		}
+		if r.ForkMismatches != 0 {
+			t.Errorf("%s: %d of %d forks disagreed with scratch replay",
+				cfg.Label(), r.ForkMismatches, r.Forks)
+		}
+		if r.Violation != nil {
+			t.Errorf("%s: unexpected violation: %s", cfg.Label(), r.Violation.Error())
+		}
+	}
+}
+
+// TestStaleBankCaught is the mutation test for the validator: corrupt every
+// banked outcome the way a stale checkpoint would (a field the resume path
+// forgot to carry over), and require ValidateForks to notice. Without the
+// corruption hook the same configuration must validate clean, proving the
+// detector has no false positives.
+func TestStaleBankCaught(t *testing.T) {
+	cfg := Config{Scheme: "HLE", Lock: "TTAS", Threads: 2, Ops: 1, ValidateForks: true}
+
+	corruptions := []struct {
+		name string
+		mut  func(prefix []uint8, o *runOutcome)
+	}{
+		// A resume that skipped part of the machine image: the state
+		// fingerprint no longer matches what scratch execution reaches.
+		{"skipped-state-field", func(_ []uint8, o *runOutcome) {
+			if !o.terminal && !o.truncated {
+				o.fp ^= 1
+			}
+		}},
+		// A resume that lost an enabled thread at the frontier.
+		{"dropped-enabled-thread", func(_ []uint8, o *runOutcome) {
+			if len(o.enabled) > 1 {
+				o.enabled = o.enabled[:len(o.enabled)-1]
+			}
+		}},
+		// A resume that dropped the final grant's footprint, which feeds
+		// the sleep sets and stutter folding of every child node.
+		{"lost-edge-footprint", func(_ []uint8, o *runOutcome) {
+			o.lastEdge = edge{}
+		}},
+	}
+	for _, c := range corruptions {
+		testCorruptBank = c.mut
+		r := Run(cfg)
+		testCorruptBank = nil
+		if r.Forks == 0 {
+			t.Fatalf("%s: corrupted run produced no forks to validate", c.name)
+		}
+		if r.ForkMismatches == 0 {
+			t.Errorf("%s: stale bank went undetected across %d forks", c.name, r.Forks)
+		}
+	}
+
+	// Control: with the hook removed the detector must be quiet.
+	clean := Run(cfg)
+	if clean.ForkMismatches != 0 {
+		t.Errorf("clean run reported %d fork mismatches", clean.ForkMismatches)
+	}
+}

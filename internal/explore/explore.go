@@ -98,6 +98,27 @@ type Config struct {
 	// schemes bound retries at 10 before falling back to the lock).
 	AttemptsBound uint64
 
+	// ChainDepth is how many frontiers past its own node one replay may
+	// keep executing, banking each extra frontier's outcome for the wave
+	// that will need it (default 2, the empirical sweet spot — deeper
+	// chains speculate past where the wave's sleep-set pruning actually
+	// lands, wasting banked work; negative disables chaining, forcing
+	// every node to replay from scratch — the differential baseline).
+	// Chained outcomes are bit-identical to the scratch replays they
+	// replace (strategy-driven runs are pure functions of their decision
+	// sequence), so this changes wall clock, never results.
+	ChainDepth int
+	// CacheMB caps the banked-outcome cache's memory (default 64;
+	// negative: unlimited). Outcomes that do not fit are dropped — the
+	// node replays from scratch instead — and counted in the result.
+	CacheMB int
+	// ValidateForks makes every fork also replay from scratch and
+	// cross-check the banked outcome bit-for-bit, counting mismatches in
+	// Result.ForkMismatches and preferring the scratch outcome. It exists
+	// for the differential tests and for auditing; it is slower than not
+	// forking at all.
+	ValidateForks bool
+
 	// NoSleepSets disables sleep-set pruning; the cross-check tests use
 	// it to verify pruning does not lose states.
 	NoSleepSets bool
@@ -133,6 +154,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if d.AttemptsBound == 0 {
 		d.AttemptsBound = 32
+	}
+	if d.ChainDepth == 0 {
+		d.ChainDepth = 2
+	}
+	if d.CacheMB == 0 {
+		d.CacheMB = 64
 	}
 	return d
 }
@@ -206,6 +233,27 @@ type Result struct {
 	// MaxFrontier is the deepest branching decision reached.
 	MaxFrontier int
 
+	// Forks counts nodes satisfied from a banked chained-replay outcome
+	// (no machine was built or run for them); ScratchReplays counts nodes
+	// that actually replayed. Forks + ScratchReplays == Replays.
+	Forks          uint64
+	ScratchReplays uint64
+	// SpecWasted counts banked outcomes that were never consumed (the
+	// merge pruned or reordered away the predicted child); CacheDropped
+	// counts outcomes rejected by the cache's byte budget.
+	SpecWasted   uint64
+	CacheDropped uint64
+	// CachePeakBytes is the banked-outcome cache's high-water mark.
+	CachePeakBytes uint64
+	// ForkMismatches counts banked outcomes that disagreed with a scratch
+	// replay (only under Config.ValidateForks; always 0 unless the bank
+	// is corrupted — the stale-checkpoint mutation tests prove that).
+	ForkMismatches uint64
+	// SuffixHist is the replayed-work histogram: bucket 0 counts forked
+	// nodes (suffix length 0 — nothing re-executed), the others count
+	// scratch replays by prefix length (see SuffixHistLabels).
+	SuffixHist [8]uint64
+
 	// Violation is the first (minimal) property failure, or nil.
 	Violation *Violation
 
@@ -266,6 +314,13 @@ func Run(cfg Config) *Result {
 	outs := make([]runOutcome, 0, 64)
 	visited := make(map[uint64]uint64) // fingerprint -> expanded-procs mask
 	budget := c.MaxReplays
+	chainDepth := c.ChainDepth
+	if chainDepth < 0 {
+		chainDepth = 0
+	}
+	cache := newSpecCache(int64(c.CacheMB) << 20)
+	var miss []int
+	var chains [][]chainOut
 
 	for depth := 0; len(wave) > 0 && depth <= c.MaxDepth; depth++ {
 		if len(wave) > budget {
@@ -279,10 +334,54 @@ func Run(cfg Config) *Result {
 		for range wave {
 			outs = append(outs, runOutcome{})
 		}
-		harness.ParallelFor(c.Parallel, len(wave), func(i int) {
-			outs[i] = ex.replay(wave[i].prefix)
+		// Fork nodes whose outcome a chained replay already banked; only
+		// the misses replay. A banked outcome is bit-identical to the
+		// scratch replay it replaces, so forking changes wall clock,
+		// never results (ValidateForks cross-checks the claim per fork).
+		miss = miss[:0]
+		for i := range wave {
+			o, ok := cache.take(wave[i].prefix)
+			if !ok {
+				miss = append(miss, i)
+				continue
+			}
+			if c.ValidateForks {
+				scratch := ex.replay(wave[i].prefix)
+				if !outcomesEqual(&o, &scratch) {
+					res.ForkMismatches++
+					o = scratch
+				}
+			}
+			outs[i] = o
+			res.Forks++
+			res.SuffixHist[0]++
+		}
+		mi := miss
+		chains = chains[:0]
+		for range mi {
+			chains = append(chains, nil)
+		}
+		harness.ParallelFor(c.Parallel, len(mi), func(k int) {
+			i := mi[k]
+			outs[i], chains[k] = ex.replayNode(&wave[i], visited, chainDepth)
 		})
 		res.Replays += uint64(len(wave))
+		res.ScratchReplays += uint64(len(mi))
+		for _, i := range mi {
+			res.SuffixHist[suffixBucket(len(wave[i].prefix))]++
+		}
+		// Bank this wave's chained outcomes in replay order — the
+		// deterministic insert order keeps cache contents, and with them
+		// every statistic, identical at any Parallel — then drop the
+		// generation the search has outgrown: breadth-first search visits
+		// each prefix length exactly once, so unconsumed entries at this
+		// wave's length are unreachable forever.
+		for k := range mi {
+			for _, co := range chains[k] {
+				cache.put(co.prefix, co.out)
+			}
+		}
+		cache.purgeLen(depth, &res.SpecWasted)
 
 		// Sequential merge in declaration order: deterministic at any
 		// Parallel, and breadth-first, so the first violation is minimal.
@@ -292,7 +391,10 @@ func Run(cfg Config) *Result {
 			out := &outs[i]
 			if out.violation != nil {
 				if res.Violation == nil {
-					res.Violation = out.violation
+					// Replays run without the flight recorder; re-replay
+					// the one violating schedule ring-enabled so the
+					// reported dump carries trace events.
+					res.Violation = ex.rediagnose(out.violation)
 				}
 				res.Truncated++
 				continue
@@ -426,6 +528,9 @@ func Run(cfg Config) *Result {
 		}
 		wave = next
 	}
+	cache.drainAll(&res.SpecWasted)
+	res.CacheDropped = cache.dropped
+	res.CachePeakBytes = uint64(cache.peak)
 	return res
 }
 

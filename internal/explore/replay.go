@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"reflect"
 
 	"hle/internal/check"
 	"hle/internal/core"
@@ -116,31 +117,102 @@ type runOutcome struct {
 	violation *Violation
 }
 
-type explorer struct {
-	cfg *Config
+// chainOut is one outcome banked by a chained replay beyond its own node:
+// exactly what a scratch replay of prefix would report. A chained replay is
+// the search's stand-in for forking a mid-run machine — goroutine state
+// (open transactions, scheduler positions) cannot be checkpointed, but a
+// live run CAN keep executing past its frontier, and because strategy-mode
+// runs are pure functions of their decision sequence the banked outcome is
+// bit-identical to the replay it saves.
+type chainOut struct {
+	prefix []uint8
+	out    runOutcome
 }
 
-func newExplorer(cfg *Config, _ *Result) *explorer { return &explorer{cfg: cfg} }
+type explorer struct {
+	cfg *Config
+	// tmpl is the config's constructed-machine image, captured once and
+	// forked by every flight-recorder-off replay. nil when the config's
+	// lock isn't value-clonable (mutant locks): those construct per replay.
+	tmpl *replayTemplate
+}
 
-// fpHash is the FNV-1a fingerprint mixer the engine's golden tests use.
+func newExplorer(cfg *Config, _ *Result) *explorer {
+	return &explorer{cfg: cfg, tmpl: buildTemplate(cfg)}
+}
+
+// replayTemplate is a config's post-construction machine image. The
+// simulated-memory half — lock cells, scheme state, the recorder's ticket
+// cell, the counter lines — lives in the checkpoint; the Go-side driver
+// objects are value-cloned per fork (cloneLock, Recorder.Fresh,
+// assembleScheme), so a fork costs a memory copy instead of re-executing
+// every constructor through the engine.
+type replayTemplate struct {
+	cp        *tsx.Checkpoint
+	main      locks.Lock
+	aux       []locks.Lock
+	rec       *check.Recorder
+	x, y      mem.Addr
+	lockWords []mem.Addr
+	preLock   []uint64
+}
+
+// buildTemplate constructs a config's machine once and checkpoints it.
+// It returns nil when the lock can't be value-cloned; the per-replay
+// construction path remains as fallback (and stays the only path for
+// flight-recorder-on diagnosis machines, whose config differs).
+func buildTemplate(c *Config) *replayTemplate {
+	tp := &replayTemplate{}
+	m := tsx.NewMachine(machineConfig(c, false))
+	m.RunOne(func(t *tsx.Thread) {
+		tp.main = buildLock(c, t)
+		tp.aux = buildAuxLocks(c, t)
+		tp.rec = check.NewRecorder(t)
+		tp.x = t.AllocLines(1)
+		tp.y = t.AllocLines(1)
+		tp.lockWords = adjustedLockWords(tp.main)
+		for _, a := range tp.lockWords {
+			tp.preLock = append(tp.preLock, m.Mem.Read(a))
+		}
+	})
+	if cloneLock(tp.main) == nil {
+		return nil
+	}
+	for _, a := range tp.aux {
+		if cloneLock(a) == nil {
+			return nil
+		}
+	}
+	tp.cp = m.Checkpoint()
+	return tp
+}
+
+// fpHash accumulates a state fingerprint one word at a time. Each mix is a
+// splitmix64-style avalanche round over the running state xor the input
+// word — order-dependent like the FNV chain it replaced, but one round of
+// multiply-shift instead of eight byte steps, since fingerprinting every
+// memory word of every explored state is the single hottest loop in a
+// sweep. Values are never persisted or compared across binaries; only
+// distinctness within one search matters.
 type fpHash uint64
 
-func newFpHash() fpHash { return 14695981039346656037 }
+func newFpHash() fpHash { return 0x9E3779B97F4A7C15 }
 
 func (h *fpHash) mix(v uint64) {
-	x := uint64(*h)
-	for i := 0; i < 8; i++ {
-		x ^= v & 0xff
-		x *= 1099511628211
-		v >>= 8
-	}
-	*h = fpHash(x)
+	x := uint64(*h) ^ v
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	x *= 0x94D049BB133111EB
+	*h = fpHash(x ^ x>>32)
 }
 
 // machineConfig builds the deterministic exploration machine: no cost
 // jitter, no spurious aborts, no randomness consumed anywhere, so a state
-// is exactly a function of the schedule that reached it.
-func machineConfig(c *Config) tsx.Config {
+// is exactly a function of the schedule that reached it. The flight
+// recorder is normally off — it taxes every replay but only matters on the
+// one violating schedule, which the search re-replays ring-enabled
+// (rediagnose) to regenerate the dump with trace events.
+func machineConfig(c *Config, ring bool) tsx.Config {
 	mcfg := tsx.Config{
 		Procs:         c.Threads,
 		Seed:          1,
@@ -152,8 +224,10 @@ func machineConfig(c *Config) tsx.Config {
 		PauseAborts:   true,
 		MaxTxAccesses: 1 << 20,
 		CostJitter:    -1, // negative: disabled (zero would select the default)
-		TraceRing:     64,
 		Costs:         tsx.DefaultCosts(),
+	}
+	if ring {
+		mcfg.TraceRing = 64
 	}
 	if c.Scheme == "HLE-HWExt" {
 		mcfg = hwext.EnableOn(mcfg)
@@ -206,17 +280,37 @@ type replayer struct {
 	incon      []bool
 
 	// Edge capture: cur accumulates the open grant's footprint, txf the
-	// per-thread live transactional footprints.
+	// per-thread live transactional footprints, lastEdge the closed
+	// footprint of the most recent frontier-bound grant.
 	cur       edge
 	txf       [][]access
 	finalNext bool
 	finalOpen bool
+	lastEdge  edge
 
 	soloGrants int
 	stopped    bool
+
+	// vio is the first property failure observed anywhere in the run;
+	// every outcome emitted from then on carries it.
+	vio *Violation
+
+	// Chain state (zero: plain scratch replay). chainLeft budgets how many
+	// frontiers past its own node this replay may bank; sleep, stutter and
+	// visited carry the node's search bookkeeping so the chain can mirror
+	// the merge loop's child selection. visited is shared and read-only:
+	// the merge only writes it after the wave's replays have joined.
+	chainLeft int
+	sleep     []sleepEntry
+	stutter   [maxExploreProcs]uint8
+	visited   map[uint64]uint64
+	chain     []chainOut
+	outSet    bool
 }
 
-func (e *explorer) replay(prefix []uint8) runOutcome {
+// newReplayer builds a replayer and its machine with the configuration's
+// lock, scheme, recorder and counter cells constructed in simulated memory.
+func (e *explorer) newReplayer(prefix []uint8, ring bool) *replayer {
 	c := e.cfg
 	r := &replayer{
 		cfg:        c,
@@ -229,72 +323,118 @@ func (e *explorer) replay(prefix []uint8) runOutcome {
 		txf:        make([][]access, c.Threads),
 		allSpec:    true,
 	}
-	m := tsx.NewMachine(machineConfig(c))
+	if tp := e.tmpl; tp != nil && !ring {
+		r.m = tsx.FromCheckpoint(tp.cp)
+		main := cloneLock(tp.main)
+		var aux []locks.Lock
+		if len(tp.aux) > 0 {
+			aux = make([]locks.Lock, len(tp.aux))
+			for i, a := range tp.aux {
+				aux[i] = cloneLock(a)
+			}
+		}
+		r.lock = main
+		r.scheme = assembleScheme(c, main, aux)
+		r.rec = tp.rec.Fresh()
+		r.x, r.y = tp.x, tp.y
+		r.lockWords, r.preLock = tp.lockWords, tp.preLock
+		return r
+	}
+	m := tsx.NewMachine(machineConfig(c, ring))
 	r.m = m
 	m.RunOne(func(t *tsx.Thread) {
 		r.lock = buildLock(c, t)
-		r.scheme = buildScheme(c, t, r.lock)
+		aux := buildAuxLocks(c, t)
+		r.scheme = assembleScheme(c, r.lock, aux)
 		r.rec = check.NewRecorder(t)
 		r.x = t.AllocLines(1)
 		r.y = t.AllocLines(1)
-		switch l := r.lock.(type) {
-		case *locks.AdjustedTicket:
-			r.lockWords = []mem.Addr{l.Addr(), l.Addr() + 1}
-		case *locks.AdjustedCLH:
-			r.lockWords = []mem.Addr{l.Addr()}
-		}
+		r.lockWords = adjustedLockWords(r.lock)
 		for _, a := range r.lockWords {
 			r.preLock = append(r.preLock, m.Mem.Read(a))
 		}
 	})
+	return r
+}
+
+// run executes the replay to its stopping point and emits the outcome(s).
+func (r *replayer) run() {
+	m := r.m
 	m.SetObserver((*monitor)(r))
 	m.SetInjector((*monInj)(r))
 	m.SetStrategy(r)
-	m.Run(c.Threads, r.body)
+	m.Run(r.cfg.Threads, r.body)
 	m.SetStrategy(nil)
 	m.SetInjector(nil)
 	m.SetObserver(nil)
 	if !r.stopped {
-		r.out.terminal = true
+		// Every thread finished during the last grant: the run is
+		// terminal at the prefix consumed so far (which a chained replay
+		// may have extended past its own node).
 		r.terminalChecks()
+		r.emit(runOutcome{terminal: true})
 	}
+}
+
+// emit finishes an outcome — attaching the run's first violation and the
+// closed final-grant footprint — and routes it: the first outcome belongs
+// to the replay's own node, every later one is banked for the prefix the
+// chain had reached.
+func (r *replayer) emit(o runOutcome) {
+	o.violation = r.vio
+	o.lastEdge = r.lastEdge
+	if !r.outSet {
+		r.out = o
+		r.outSet = true
+		return
+	}
+	r.chain = append(r.chain, chainOut{
+		prefix: append([]uint8(nil), r.prefix...),
+		out:    o,
+	})
+}
+
+func (e *explorer) replay(prefix []uint8) runOutcome {
+	r := e.newReplayer(prefix, false)
+	r.run()
 	return r.out
+}
+
+// replayNode replays one frontier node and, chain budget permitting, keeps
+// executing along the merge loop's predicted first-child line, banking one
+// outcome per extra frontier.
+func (e *explorer) replayNode(nd *node, visited map[uint64]uint64, chainDepth int) (runOutcome, []chainOut) {
+	r := e.newReplayer(nd.prefix, false)
+	r.chainLeft = chainDepth
+	r.sleep = nd.inherit
+	r.stutter = nd.stutter
+	r.visited = visited
+	r.run()
+	return r.out, r.chain
 }
 
 // diagnose re-replays a prefix solely to attach a machine-state dump to a
 // violation the search itself concluded (the deadlock rule, which is
 // decided from edge footprints, not from inside a replay).
 func (e *explorer) diagnose(prefix []uint8, kind, detail string) *Violation {
-	c := e.cfg
-	r := &replayer{
-		cfg:        c,
-		prefix:     prefix,
-		threads:    make([]*tsx.Thread, c.Threads),
-		opsDone:    make([]int, c.Threads),
-		seqScratch: make([]uint64, c.Threads),
-		resScratch: make([]uint64, c.Threads),
-		incon:      make([]bool, c.Threads),
-		txf:        make([][]access, c.Threads),
-		allSpec:    true,
-	}
-	m := tsx.NewMachine(machineConfig(c))
-	r.m = m
-	m.RunOne(func(t *tsx.Thread) {
-		r.lock = buildLock(c, t)
-		r.scheme = buildScheme(c, t, r.lock)
-		r.rec = check.NewRecorder(t)
-		r.x = t.AllocLines(1)
-		r.y = t.AllocLines(1)
-	})
-	m.SetObserver((*monitor)(r))
-	m.SetInjector((*monInj)(r))
-	m.SetStrategy(r)
-	m.Run(c.Threads, r.body)
-	m.SetStrategy(nil)
-	m.SetInjector(nil)
-	m.SetObserver(nil)
+	r := e.newReplayer(prefix, true)
+	r.run()
 	r.setViolation(kind, detail)
-	return r.out.violation
+	return r.vio
+}
+
+// rediagnose re-replays a violation's schedule with the flight recorder
+// enabled and returns the regenerated violation, now carrying trace
+// events. Replays run ring-off (the recorder taxes every grant of every
+// replay for a dump only one schedule ever needs); determinism makes the
+// re-run fail identically at the same point.
+func (e *explorer) rediagnose(v *Violation) *Violation {
+	r := e.newReplayer(v.Schedule, true)
+	r.run()
+	if r.vio == nil {
+		return v
+	}
+	return r.vio
 }
 
 // buildLock and buildScheme construct the configuration's lock and scheme
@@ -310,11 +450,31 @@ func buildLock(c *Config, t *tsx.Thread) locks.Lock {
 	return mk(t)
 }
 
-func buildScheme(c *Config, t *tsx.Thread, main locks.Lock) core.Scheme {
+// buildAuxLocks allocates the auxiliary locks c's scheme needs, in the
+// order assembleScheme consumes them. Splitting allocation from assembly
+// keeps scheme construction replayable from a checkpoint: the allocations
+// (simulated-memory effects) are captured once in the template image,
+// while assembly is pure Go and runs per fork.
+func buildAuxLocks(c *Config, t *tsx.Thread) []locks.Lock {
+	if c.Mutant == MutantSCMLazy {
+		return nil
+	}
+	switch c.Scheme {
+	case "HLE-SCM", "HLE-SCM-ideal", "Opt-SLR-SCM":
+		return []locks.Lock{locks.NewMCS(t)}
+	case "HLE-SCM-multi":
+		return []locks.Lock{locks.NewMCS(t), locks.NewMCS(t), locks.NewMCS(t), locks.NewMCS(t)}
+	}
+	return nil
+}
+
+// assembleScheme wraps already-constructed locks in c's scheme. It performs
+// no simulated-memory accesses, so it is safe to call outside RunOne — in
+// particular on locks cloned from a checkpointed template.
+func assembleScheme(c *Config, main locks.Lock, aux []locks.Lock) core.Scheme {
 	if c.Mutant == MutantSCMLazy {
 		return newLazySCM(main)
 	}
-	aux := func() locks.Lock { return locks.NewMCS(t) }
 	switch c.Scheme {
 	case "Standard":
 		return core.NewStandard(main)
@@ -325,27 +485,74 @@ func buildScheme(c *Config, t *tsx.Thread, main locks.Lock) core.Scheme {
 	case "RTM-LE":
 		return core.NewRTMLE(main)
 	case "HLE-SCM":
-		return core.NewHLESCM(main, aux(), core.SCMConfig{})
+		return core.NewHLESCM(main, aux[0], core.SCMConfig{})
 	case "HLE-SCM-ideal":
-		return core.NewHLESCM(main, aux(), core.SCMConfig{Ideal: true})
+		return core.NewHLESCM(main, aux[0], core.SCMConfig{Ideal: true})
 	case "HLE-SCM-multi":
-		return core.NewHLESCMMulti(main, []locks.Lock{aux(), aux(), aux(), aux()}, core.SCMConfig{})
+		return core.NewHLESCMMulti(main, aux, core.SCMConfig{})
 	case "Pes-SLR":
 		return core.NewPessimisticSLR(main)
 	case "Opt-SLR":
 		return core.NewSLR(main, 0)
 	case "Opt-SLR-SCM":
-		return core.NewSLRSCM(main, aux(), core.SCMConfig{})
+		return core.NewSLRSCM(main, aux[0], core.SCMConfig{})
 	}
 	panic("explore: unknown scheme " + c.Scheme)
 }
 
-// Pick implements sim.Strategy: it forces the prefix, stops at the
-// frontier after fingerprinting the state, and plays forced endgame grants
-// (a sole unfinished thread) to termination. Every grant's target is the
-// chosen thread's clock plus one, so each grant executes exactly one
-// pending engine step — the finest interleaving granularity the machine
-// exposes.
+// cloneLock value-copies a constructed lock. Every stock lock is a plain
+// value type — simulated-memory addresses plus fixed-size per-thread
+// scratch arrays — so a struct copy yields an independent Go-side handle
+// onto the same simulated-memory lock, exactly as the constructor left it.
+// Unknown (mutant) lock types return nil and callers fall back to full
+// per-replay construction.
+func cloneLock(l locks.Lock) locks.Lock {
+	switch l := l.(type) {
+	case *locks.TTAS:
+		c := *l
+		return &c
+	case *locks.MCS:
+		c := *l
+		return &c
+	case *locks.Ticket:
+		c := *l
+		return &c
+	case *locks.AdjustedTicket:
+		c := *l
+		return &c
+	case *locks.CLH:
+		c := *l
+		return &c
+	case *locks.AdjustedCLH:
+		c := *l
+		return &c
+	}
+	return nil
+}
+
+// adjustedLockWords returns the lock words the adjusted-lock invariant
+// checks watch (empty for locks without an adjusted protocol).
+func adjustedLockWords(l locks.Lock) []mem.Addr {
+	switch l := l.(type) {
+	case *locks.AdjustedTicket:
+		return []mem.Addr{l.Addr(), l.Addr() + 1}
+	case *locks.AdjustedCLH:
+		return []mem.Addr{l.Addr()}
+	}
+	return nil
+}
+
+// Pick implements sim.Strategy: it forces the prefix, captures the frontier
+// state when the prefix runs out, and plays forced endgame grants (a sole
+// unfinished thread) to termination. Branching grants are single-step —
+// target one past the chosen thread's clock, executing exactly one pending
+// engine step, the finest interleaving granularity the machine exposes —
+// while interior runs of same-proc prefix decisions are batched into one
+// step-counted grant (sim.Decision.Steps), which is observably identical
+// and saves a token handoff per batched decision. After capturing its own
+// frontier a chain-budgeted replay keeps going: it predicts the merge
+// loop's first child, plays it as one more single-step grant, and banks
+// the next frontier too (see specNext).
 func (r *replayer) Pick(choices []sim.Choice) sim.Decision {
 	r.closeEdge()
 	if len(choices) == 1 {
@@ -359,7 +566,7 @@ func (r *replayer) Pick(choices []sim.Choice) sim.Decision {
 			r.setViolation("progress", fmt.Sprintf(
 				"thread %d cannot finish alone within %d large slices (every other thread is done: a correct scheme must terminate)",
 				choices[0].ProcID, r.cfg.SoloBound))
-			r.out.truncated = true
+			r.emit(runOutcome{truncated: true})
 			r.stopped = true
 			return sim.Decision{Stop: true}
 		}
@@ -369,26 +576,102 @@ func (r *replayer) Pick(choices []sim.Choice) sim.Decision {
 	}
 	if r.pos < len(r.prefix) {
 		p := int(r.prefix[r.pos])
-		r.pos++
+		last := len(r.prefix)
+		n := 1
+		for r.pos+n < last && r.prefix[r.pos+n] == uint8(p) {
+			n++
+		}
+		if r.pos+n == last && n > 1 {
+			// The final prefix grant stays single-step: its edge
+			// footprint must be captured in isolation.
+			n--
+		}
+		r.pos += n
 		for i, c := range choices {
 			if c.ProcID == p {
-				if r.pos == len(r.prefix) {
+				if r.pos == last {
 					r.finalNext = true
 				}
 				r.openEdge(p)
-				return sim.Decision{Index: i, Target: c.Clock + 1}
+				if n == 1 {
+					return sim.Decision{Index: i, Target: c.Clock + 1}
+				}
+				return sim.Decision{Index: i, Steps: n}
 			}
 		}
 		panic(fmt.Sprintf("explore: replay diverged: proc %d not among %d choices", p, len(choices)))
 	}
-	// Frontier: capture the state and hand control back to the search.
-	r.out.fp = r.fingerprint()
-	r.out.enabled = make([]uint8, len(choices))
+	// Frontier: capture the state for the prefix consumed so far.
+	o := runOutcome{
+		fp:      r.fingerprint(),
+		enabled: make([]uint8, len(choices)),
+	}
 	for i, c := range choices {
-		r.out.enabled[i] = uint8(c.ProcID)
+		o.enabled[i] = uint8(c.ProcID)
+	}
+	r.emit(o)
+	if i, ok := r.specNext(&o); ok {
+		// Keep going along the predicted first child: extend the prefix
+		// (the append never aliases the node's slice — node prefixes are
+		// built at exact capacity, and the full-slice expression forces a
+		// copy regardless) and play the child as one more single-step,
+		// edge-captured grant.
+		r.chainLeft--
+		r.prefix = append(r.prefix[:len(r.prefix):len(r.prefix)], o.enabled[i])
+		r.pos = len(r.prefix)
+		r.finalNext = true
+		r.openEdge(int(o.enabled[i]))
+		return sim.Decision{Index: i, Target: choices[i].Clock + 1}
 	}
 	r.stopped = true
 	return sim.Decision{Stop: true}
+}
+
+// specNext decides whether a chained replay keeps executing past the
+// frontier it just banked, and along which child. It mirrors the merge
+// loop's child selection — stutter fold, sleep-set filter, stutter cap,
+// visited mask — using the bookkeeping the node carried into the replay.
+// The mirror is conservative, not exact: sleep entries contributed by
+// same-wave earlier siblings and visited-mask bits added by nodes merged
+// later in this wave are unknown here, so a prediction can name a child
+// the merge ends up pruning. That never corrupts the search — the bank is
+// consulted by exact prefix, so a child the merge never enqueues is simply
+// never looked up — it only wastes the banked suffix.
+func (r *replayer) specNext(o *runOutcome) (int, bool) {
+	if r.chainLeft <= 0 || r.vio != nil || len(r.prefix) >= r.cfg.MaxDepth {
+		return 0, false
+	}
+	if len(r.prefix) > 0 {
+		if writeFree(&r.lastEdge) {
+			r.stutter[r.prefix[len(r.prefix)-1]]++
+		} else {
+			r.stutter = [maxExploreProcs]uint8{}
+		}
+		if !r.cfg.NoSleepSets {
+			// Filter into a fresh slice: the inherited set is shared with
+			// sibling nodes replaying concurrently.
+			var kept []sleepEntry
+			for _, se := range r.sleep {
+				if !dependent(&se.e, &r.lastEdge) {
+					kept = append(kept, se)
+				}
+			}
+			r.sleep = kept
+		}
+	}
+	for i, p := range o.enabled {
+		if inSleep(r.sleep, p) {
+			continue
+		}
+		if r.stutter[p] >= uint8(r.cfg.StutterBound) {
+			continue
+		}
+		if r.visited[o.fp]&(1<<p) != 0 {
+			continue
+		}
+		return i, true
+	}
+	return 0, false
 }
 
 func (r *replayer) openEdge(proc int) {
@@ -397,13 +680,19 @@ func (r *replayer) openEdge(proc int) {
 	r.cur.boundary = false
 	r.finalOpen = r.finalNext
 	r.finalNext = false
+	if r.finalOpen {
+		// A fresh frontier-bound grant invalidates the previous closed
+		// edge: if the run terminates inside this grant the outcome's
+		// footprint must read empty, exactly as a scratch replay's would.
+		r.lastEdge = edge{}
+	}
 }
 
 func (r *replayer) closeEdge() {
 	if !r.finalOpen {
 		return
 	}
-	r.out.lastEdge = edge{
+	r.lastEdge = edge{
 		accesses: append([]access(nil), r.cur.accesses...),
 		txLines:  append([]access(nil), r.cur.txLines...),
 		boundary: r.cur.boundary,
@@ -560,9 +849,12 @@ func (r *replayer) terminalChecks() {
 }
 
 // setViolation records the first property failure with a bounded
-// deterministic diagnostic dump of the machine at detection time.
+// deterministic diagnostic dump of the machine at detection time. The
+// schedule it records is the prefix at detection time — for a chained
+// replay, the extended prefix the chain had reached — which is exactly
+// what a scratch replay of that prefix would record.
 func (r *replayer) setViolation(kind, detail string) {
-	if r.out.violation != nil {
+	if r.vio != nil {
 		return
 	}
 	f := &harness.Failure{
@@ -584,12 +876,19 @@ func (r *replayer) setViolation(kind, detail string) {
 		}
 		f.Threads = append(f.Threads, ts)
 	}
-	r.out.violation = &Violation{
+	r.vio = &Violation{
 		Kind:     kind,
 		Detail:   detail,
 		Schedule: append([]uint8(nil), r.prefix...),
 		Failure:  f,
 	}
+}
+
+// outcomesEqual reports whether two outcomes for the same prefix are
+// bit-identical; the fork-validation mode and the differential tests use
+// it to check banked outcomes against scratch replays.
+func outcomesEqual(a, b *runOutcome) bool {
+	return reflect.DeepEqual(*a, *b)
 }
 
 // monitor is the replayer's tsx.Observer view: transaction boundaries mark

@@ -27,13 +27,18 @@ func AblationSCMRetries(o Options) []*stats.Table {
 		Title:  "Ablation — HLE-SCM MaxRetries (MCS lock, 128-node tree, 50/50 mix)",
 		Header: []string{"max retries", "throughput", "attempts/op", "non-spec frac"},
 	}
+	// Every sweep point measures the same populated tree, so they all fork
+	// one warm template instead of re-filling per point.
+	warm := &harness.WarmTemplate{
+		Machine: machineCfg(o, size),
+		MkWorkload: func(t *tsx.Thread) harness.Workload {
+			return mkRBTree(t, size, harness.MixExtensive)
+		},
+	}
 	var points []harness.PointSpec
 	for _, r := range retriesSweep {
 		points = append(points, harness.PointSpec{
-			Machine: machineCfg(o, size),
-			MkWorkload: func(t *tsx.Thread) harness.Workload {
-				return mkRBTree(t, size, harness.MixExtensive)
-			},
+			Warm: warm,
 			// The retry knob has no SchemeSpec spelling, so build the
 			// scheme directly.
 			MkScheme: func(t *tsx.Thread) core.Scheme {
@@ -72,14 +77,19 @@ func AblationSpurious(o Options) []*stats.Table {
 	schemes := []string{"HLE", "HLE-SCM"}
 	var points []harness.PointSpec
 	for _, rate := range rates {
+		// The spurious rate lives in the machine config, so each rate gets
+		// its own warm template; both schemes at that rate fork it.
+		cfg := machineCfg(o, size)
+		cfg.SpuriousPerAccess = rate
+		warm := &harness.WarmTemplate{
+			Machine: cfg,
+			MkWorkload: func(t *tsx.Thread) harness.Workload {
+				return mkRBTree(t, size, harness.MixLookupOnly)
+			},
+		}
 		for _, scheme := range schemes {
-			cfg := machineCfg(o, size)
-			cfg.SpuriousPerAccess = rate
 			points = append(points, harness.PointSpec{
-				Machine: cfg,
-				MkWorkload: func(t *tsx.Thread) harness.Workload {
-					return mkRBTree(t, size, harness.MixLookupOnly)
-				},
+				Warm:   warm,
 				Scheme: harness.SchemeSpec{Scheme: scheme, Lock: "MCS"},
 				Cfg:    harness.Config{Threads: o.Threads, CycleBudget: o.Budget},
 			})

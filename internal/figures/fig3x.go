@@ -70,13 +70,16 @@ func Fig33(o Options) []*stats.Table {
 	slot := budget / 50
 
 	locks := []string{"MCS", "TTAS"}
+	warm := &harness.WarmTemplate{
+		Machine: machineCfg(o, size),
+		MkWorkload: func(t *tsx.Thread) harness.Workload {
+			return mkRBTree(t, size, harness.MixModerate)
+		},
+	}
 	var points []harness.PointSpec
 	for _, lock := range locks {
 		points = append(points, harness.PointSpec{
-			Machine: machineCfg(o, size),
-			MkWorkload: func(t *tsx.Thread) harness.Workload {
-				return mkRBTree(t, size, harness.MixModerate)
-			},
+			Warm:   warm,
 			Scheme: harness.SchemeSpec{Scheme: "HLE", Lock: lock},
 			Cfg: harness.Config{
 				Threads:     o.Threads,

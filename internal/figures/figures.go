@@ -216,28 +216,28 @@ type dsGroup struct {
 }
 
 // dsRunGroups measures every group's schemes and returns one result map per
-// group, indexed as declared. Phase one populates each group's template
-// machine (population dominates cost for large sizes, so siblings share
-// it); phase two runs each (group, scheme) point on a clone of its template,
-// reseeded from the point's coordinates. Within a point, repetitions reuse
-// the clone: memory state persists, so they sample different phases of the
-// (metastable) avalanche dynamics, as the paper's "average on 10 runs" does.
+// group, indexed as declared. Each group declares one warm template —
+// population dominates cost for large sizes, so sibling points share it:
+// the first point to need a group populates it and captures a checkpoint,
+// every later point forks the checkpoint, and each point is reseeded from
+// its coordinates. Within a point, repetitions reuse the fork: memory state
+// persists, so they sample different phases of the (metastable) avalanche
+// dynamics, as the paper's "average on 10 runs" does.
 func dsRunGroups(o Options, groups []dsGroup) []map[string]harness.Result {
-	templates := make([]*tsx.Machine, len(groups))
-	workloads := make([]harness.Workload, len(groups))
-	harness.ParallelFor(o.Parallel, len(groups), func(gi int) {
-		g := groups[gi]
+	templates := make([]*harness.WarmTemplate, len(groups))
+	for gi, g := range groups {
 		cfg := machineCfg(o, g.size)
 		if g.mcfg != nil {
 			cfg = *g.mcfg
 		}
-		m := tsx.NewMachine(cfg)
-		m.RunOne(func(t *tsx.Thread) {
-			workloads[gi] = g.mk(t, g.size, g.mix)
-			workloads[gi].Populate(t)
-		})
-		templates[gi] = m
-	})
+		g := g
+		templates[gi] = &harness.WarmTemplate{
+			Machine: cfg,
+			MkWorkload: func(t *tsx.Thread) harness.Workload {
+				return g.mk(t, g.size, g.mix)
+			},
+		}
+	}
 
 	var points []harness.PointSpec
 	var coords [][2]int
@@ -252,12 +252,11 @@ func dsRunGroups(o Options, groups []dsGroup) []map[string]harness.Result {
 		}
 		for si := range g.specs {
 			points = append(points, harness.PointSpec{
-				Template: templates[gi],
-				Workload: workloads[gi],
-				Scheme:   g.specs[si],
-				Seed:     harness.DeriveSeed(o.Seed, gi, si),
-				Runs:     runs,
-				Cfg:      cfg,
+				Warm:   templates[gi],
+				Scheme: g.specs[si],
+				Seed:   harness.DeriveSeed(o.Seed, gi, si),
+				Runs:   runs,
+				Cfg:    cfg,
 			})
 			coords = append(coords, [2]int{gi, si})
 		}

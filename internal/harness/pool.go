@@ -9,12 +9,53 @@ import (
 	"hle/internal/tsx"
 )
 
+// WarmTemplate shares one populated machine image across many points. The
+// first Fork builds the machine, populates the workload, and captures a
+// checkpoint of the warm state; every later Fork only copies the
+// checkpoint. Compared to cloning a live template machine per point, a
+// fork skips the fill phase entirely and costs one memory copy instead of
+// two (a clone re-snapshots its source every time). Forks are
+// deterministic: every forked machine starts from the identical image, so
+// results do not depend on how many points shared the template or in what
+// order workers claimed them.
+type WarmTemplate struct {
+	// Machine configures the template machine.
+	Machine tsx.Config
+	// MkWorkload builds the workload whose Populate fills the machine.
+	MkWorkload func(t *tsx.Thread) Workload
+
+	once sync.Once
+	cp   *tsx.Checkpoint
+	w    Workload
+}
+
+// Fork returns an independent machine holding the warm image plus the
+// shared workload handle (workload Go-side state is immutable after
+// Populate, so sharing it across concurrent forks is safe). The first call
+// pays the build-and-populate cost; concurrent first calls serialize on it.
+func (wt *WarmTemplate) Fork() (*tsx.Machine, Workload) {
+	wt.once.Do(func() {
+		m := tsx.NewMachine(wt.Machine)
+		m.RunOne(func(t *tsx.Thread) {
+			wt.w = wt.MkWorkload(t)
+			wt.w.Populate(t)
+		})
+		wt.cp = m.Checkpoint()
+	})
+	return tsx.FromCheckpoint(wt.cp), wt.w
+}
+
 // PointSpec declares one experiment point: a machine, a workload, a scheme,
 // and a run configuration. Points are independent simulations, so a figure
 // declares its points as a flat list and RunPoints fans them out across host
 // workers; results come back by declaration index, so output built from them
 // is identical whatever the worker count.
 type PointSpec struct {
+	// Warm, when non-nil, supplies the point's machine and workload by
+	// forking a shared warm template; it takes precedence over the other
+	// machine modes.
+	Warm *WarmTemplate
+
 	// Template, when non-nil, is a populated machine that is cloned for
 	// this point; Workload must then be the workload living in it. Many
 	// points may share one Template — Clone takes a memory snapshot, and
@@ -53,7 +94,9 @@ type PointSpec struct {
 func (p PointSpec) Run() Result {
 	var m *tsx.Machine
 	w := p.Workload
-	if p.Template != nil {
+	if p.Warm != nil {
+		m, w = p.Warm.Fork()
+	} else if p.Template != nil {
 		m = p.Template.Clone()
 	} else {
 		m = tsx.NewMachine(p.Machine)

@@ -92,6 +92,15 @@ type Decision struct {
 	// the proc's current clock makes the grant a single simulated access
 	// — the granularity an interleaving explorer wants.
 	Target uint64
+	// Steps, when positive, makes the grant step-counted instead of
+	// clock-targeted: the proc yields back after exactly Steps calls to
+	// Step with non-zero cost, and Target is ignored. A Steps=n grant is
+	// observably identical to n consecutive single-step grants to the
+	// same proc (each Step advances the clock by its cost either way, and
+	// zero-cost Steps pass through both forms without yielding); it
+	// exists so a replayer forcing a known schedule can batch runs of
+	// same-proc decisions into one handoff.
+	Steps int
 	// Stop aborts the run: every remaining proc unwinds at its next Step
 	// and Run returns normally with those procs marked Stopped.
 	Stop bool
@@ -117,6 +126,7 @@ type Proc struct {
 
 	clock   uint64
 	target  uint64
+	steps   int // remaining cost>0 steps of a step-counted grant (0: clock-targeted)
 	sched   *sched
 	grant   chan grantMsg
 	rngSeed int64
@@ -125,9 +135,11 @@ type Proc struct {
 }
 
 // grantMsg is what a proc receives when the token is handed to it: a new
-// clock target, or a stop order that unwinds the proc's body.
+// clock target (or a step budget, for step-counted grants), or a stop
+// order that unwinds the proc's body.
 type grantMsg struct {
 	target uint64
+	steps  int
 	stop   bool
 }
 
@@ -292,6 +304,10 @@ func (s *sched) pickStrategy() (*Proc, grantMsg) {
 				}
 			}
 			msg.target = d.Target
+			if d.Steps > 0 {
+				msg.target = ^uint64(0)
+				msg.steps = d.Steps
+			}
 		}
 	}
 	if s.onGrant != nil {
@@ -347,6 +363,15 @@ func (p *Proc) Stopped() bool { return p.stopped }
 // access and every unit of simulated computation funnels through Step.
 func (p *Proc) Step(cost uint64) {
 	p.clock += cost
+	if p.steps > 0 {
+		if cost != 0 {
+			p.steps--
+			if p.steps == 0 {
+				p.yieldToken()
+			}
+		}
+		return
+	}
 	if p.clock >= p.target {
 		p.yieldToken()
 	}
@@ -365,20 +390,23 @@ func (p *Proc) yieldToken() {
 			panic(stopSignal{})
 		}
 		p.target = msg.target
+		p.steps = msg.steps
 		return
 	}
 	next.grant <- msg
-	p.target = p.recvGrant()
+	p.recvGrant()
 }
 
-// recvGrant blocks for the next grant, unwinding the proc on a stop order.
-func (p *Proc) recvGrant() uint64 {
+// recvGrant blocks for the next grant, installing its target or step
+// budget, and unwinding the proc on a stop order.
+func (p *Proc) recvGrant() {
 	g := <-p.grant
 	if g.stop {
 		p.stopped = true
 		panic(stopSignal{})
 	}
-	return g.target
+	p.target = g.target
+	p.steps = g.steps
 }
 
 // Run simulates n procs, each executing body, and returns when all bodies
@@ -433,7 +461,8 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 				}
 				s.finish(p)
 			}()
-			p.target = p.recvGrant()
+			growProcStack()
+			p.recvGrant()
 			body(p)
 		}(i, p)
 	}
@@ -452,4 +481,28 @@ func Run(cfg Config, n int, body func(p *Proc)) []*Proc {
 		}
 	}
 	return procs
+}
+
+// stackPadIdx and stackPadSink keep growProcStack's pad array opaque to the
+// compiler: an unknown index forces the array to materialize on the stack
+// (a constant index or an all-zero read could be folded away, and taking
+// the array's address would move it to the heap, defeating the point).
+// The sink is atomic because every proc goroutine writes it at startup.
+var (
+	stackPadIdx  int
+	stackPadSink atomic.Uint32
+)
+
+// growProcStack forces the calling goroutine's stack to grow to the procs'
+// steady-state depth while the stack is still nearly empty. Workload bodies
+// run deep (scheme -> engine -> memory -> scheduler), and growing the stack
+// mid-run copies every live frame — under short replay-style Runs that
+// copying dominates the profile. One oversized frame at the top of the
+// goroutine moves the growth to the cheapest possible moment.
+//
+//go:noinline
+func growProcStack() {
+	var pad [4 << 10]byte
+	pad[stackPadIdx] = 1
+	stackPadSink.Store(uint32(pad[stackPadIdx>>1]))
 }

@@ -255,34 +255,76 @@ func NewMachine(cfg Config) *Machine {
 // Config returns the machine's effective configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Clone returns an independent machine whose simulated memory is a deep
-// copy of m's — word contents, line metadata, allocator state. The
-// experiment pool (internal/harness) populates an expensive workload once
-// on a template machine and clones it per concurrent point instead of
-// repopulating; population dominates point cost for large structures.
-// Clone must not be called while the machine is running.
-func (m *Machine) Clone() *Machine {
+// Checkpoint is a frozen machine image: configuration, a deep copy of the
+// simulated memory (word contents, line metadata, allocator state), and
+// the symbolic line registry. It is immutable once captured — one
+// checkpoint can seed any number of independent machines, concurrently —
+// which is what makes it a fork point: capture once after an expensive
+// phase (workload population, a soak's fill run), then FromCheckpoint per
+// experiment instead of re-executing the phase.
+//
+// A checkpoint can only be captured while the machine is quiescent
+// (between Run calls). Mid-run machine state lives partly in goroutine
+// stacks — open transactions, scheduler handoff positions — which no
+// snapshot can capture; every Run drains thread-local caches back into the
+// memory image as bodies finish, so a quiescent machine's entire state IS
+// its memory image plus configuration. Callers that want mid-run forking
+// (the schedule explorer in internal/explore) instead extend a live run
+// past the fork point and bank the outcomes, which is equivalent because
+// strategy-driven runs are pure functions of their decision sequence.
+type Checkpoint struct {
+	cfg          Config
+	snap         *mem.Snapshot
+	lineLabels   map[int]string
+	lockLines    map[int]struct{}
+	logOneMinusP float64
+}
+
+// Checkpoint captures the machine's state. It must not be called while the
+// machine is running.
+func (m *Machine) Checkpoint() *Checkpoint {
 	if m.threads != nil {
-		panic("tsx: Clone while the machine is running")
+		panic("tsx: Checkpoint while the machine is running")
 	}
-	c := &Machine{
+	cp := &Checkpoint{
 		cfg:          m.cfg,
-		Mem:          mem.FromSnapshot(m.Mem.Snapshot()),
+		snap:         m.Mem.Snapshot(),
+		lineLabels:   maps.Clone(m.lineLabels),
+		lockLines:    maps.Clone(m.lockLines),
 		logOneMinusP: m.logOneMinusP,
 	}
-	// Clones start fault-free with an empty flight recorder of their own:
-	// injectors, observers and watchdogs are per-experiment, not part of
-	// the machine image, and a shared ring or collector would race under
-	// the host-parallel pool. Line labels ARE part of the image: they
-	// describe memory the clone copied.
-	c.cfg.Injector = nil
-	c.cfg.Observer = nil
+	// Machines forked from the checkpoint start fault-free with an empty
+	// flight recorder of their own: injectors, observers and watchdogs are
+	// per-experiment, not part of the machine image, and a shared ring or
+	// collector would race under the host-parallel pool. Line labels ARE
+	// part of the image: they describe memory the checkpoint copied.
+	cp.cfg.Injector = nil
+	cp.cfg.Observer = nil
+	return cp
+}
+
+// FromCheckpoint builds an independent machine from a checkpoint. The
+// checkpoint is not consumed.
+func FromCheckpoint(cp *Checkpoint) *Machine {
+	c := &Machine{
+		cfg:          cp.cfg,
+		Mem:          mem.FromSnapshot(cp.snap),
+		logOneMinusP: cp.logOneMinusP,
+	}
 	if c.cfg.TraceRing > 0 {
 		c.ring = &traceRing{buf: make([]TraceEvent, c.cfg.TraceRing)}
 	}
-	c.lineLabels = maps.Clone(m.lineLabels)
-	c.lockLines = maps.Clone(m.lockLines)
+	c.lineLabels = maps.Clone(cp.lineLabels)
+	c.lockLines = maps.Clone(cp.lockLines)
 	return c
+}
+
+// Clone returns an independent machine whose simulated memory is a deep
+// copy of m's. It is Checkpoint followed by FromCheckpoint; callers that
+// fork more than once from the same state should capture the checkpoint
+// themselves and amortize the copy.
+func (m *Machine) Clone() *Machine {
+	return FromCheckpoint(m.Checkpoint())
 }
 
 // Reseed changes the seed that drives the scheduler and per-thread RNG

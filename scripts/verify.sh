@@ -18,7 +18,17 @@ go test -race -count=1 -timeout 300s ./internal/obs
 # the race detector too, but -short (the quick battery alone — the race
 # detector is ~10x, so the deeper two-op configurations stay in plain mode).
 go test -race -short -count=1 -timeout 600s ./internal/explore
+# Checkpoint-fork differential: chained (forking) exploration must match
+# scratch replay bit for bit, and deliberately staled banked outcomes must
+# be caught by the fork validator.
+go test -count=1 -timeout 300s -run 'TestChainMatchesScratch|TestValidateForksClean|TestStaleBankCaught' ./internal/explore
+# Checkpoint/fork fuzz smoke: replays the checked-in corpus (seed inputs
+# plus interesting cases the fuzzer found), comparing forked children
+# against scratch executions.
+go test -count=1 -timeout 300s -run 'FuzzCheckpointFork|TestSoakForkMatchesScratch' ./internal/tsx ./internal/chaos
 # Capped-depth model-checking smoke: every scheme x sweep lock at two
 # threads x one op with a small replay budget — under a minute, and it
 # exercises the whole replay/branch/check loop through the CLI entry point.
-go run ./cmd/hle-bench -explore -quick -parallel 2 > /dev/null
+# -explore-guard fails the run if the sweep takes more than twice the
+# quick-tier wall clock recorded in BENCH_explore.json.
+go run ./cmd/hle-bench -explore -quick -parallel 2 -explore-guard BENCH_explore.json > /dev/null
