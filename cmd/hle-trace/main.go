@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hle/internal/core"
 	"hle/internal/harness"
@@ -29,9 +30,27 @@ import (
 	"hle/internal/tsx"
 )
 
+// modes lists every hle-trace mode with a one-line description. The -mode
+// flag help and the unknown-mode error are both derived from this table,
+// so adding a mode here keeps them in sync (the same way hle-bench lists
+// figure ids on an unknown -fig).
+var modes = []struct{ name, desc string }{
+	{"trace", "annotated engine-event trace of a two-thread elision scenario"},
+	{"waterfall", "per-window speculating/serialized occupancy chart"},
+	{"heatmap", "conflict-abort ranking of the hottest cache lines"},
+}
+
+func modeNames() string {
+	names := make([]string, len(modes))
+	for i, m := range modes {
+		names[i] = m.name
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	var (
-		mode    = flag.String("mode", "trace", "trace, waterfall, or heatmap")
+		mode    = flag.String("mode", "trace", "one of: "+modeNames())
 		scheme  = flag.String("scheme", "HLE", "scheme (trace mode: HLE or HLE-SCM; profile modes: any harness scheme)")
 		lock    = flag.String("lock", "TTAS", "lock for waterfall/heatmap modes (TTAS, MCS, ...)")
 		threads = flag.Int("threads", 8, "simulated threads for waterfall/heatmap modes")
@@ -47,7 +66,10 @@ func main() {
 		runProfileMode(*mode, *scheme, *lock, *threads, *budget, *seed)
 		return
 	default:
-		fmt.Fprintf(os.Stderr, "hle-trace: unknown mode %q (trace, waterfall, heatmap)\n", *mode)
+		fmt.Fprintf(os.Stderr, "hle-trace: unknown mode %q; valid modes:\n", *mode)
+		for _, m := range modes {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", m.name, m.desc)
+		}
 		os.Exit(2)
 	}
 

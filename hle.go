@@ -50,6 +50,7 @@
 package hle
 
 import (
+	"hle/internal/adapt"
 	"hle/internal/chaos"
 	"hle/internal/core"
 	"hle/internal/harness"
@@ -206,6 +207,8 @@ type schemeCfg struct {
 	scmTuned    bool
 	pessimistic bool
 	maxAttempts int
+	adapt       AdaptiveConfig
+	adaptTuned  bool
 }
 
 // Option configures a scheme constructor (Elide or Removal). Options that
@@ -239,6 +242,13 @@ func MaxAttempts(n int) Option {
 	return func(c *schemeCfg) { c.maxAttempts = n }
 }
 
+// WithAdaptiveTuning sets explicit controller thresholds (windows,
+// hysteresis bands, probation backoff) for Adaptive. Applies to Adaptive
+// only; zero fields keep the adapt defaults.
+func WithAdaptiveTuning(cfg AdaptiveConfig) Option {
+	return func(c *schemeCfg) { c.adapt, c.adaptTuned = cfg, true }
+}
+
 // apply folds opts and validates the combination for the named
 // constructor.
 func applyOptions(constructor string, opts []Option) schemeCfg {
@@ -248,6 +258,9 @@ func applyOptions(constructor string, opts []Option) schemeCfg {
 	}
 	if c.scmTuned && c.aux == nil {
 		panic("hle: " + constructor + ": WithSCMTuning requires WithSCM")
+	}
+	if c.adaptTuned && constructor != "Adaptive" {
+		panic("hle: " + constructor + ": WithAdaptiveTuning applies to Adaptive only")
 	}
 	return c
 }
@@ -288,6 +301,61 @@ func Removal(lock Lock, opts ...Option) Scheme {
 		return core.NewPessimisticSLR(lock)
 	}
 	return core.NewSLR(lock, c.maxAttempts)
+}
+
+// Adaptive re-exports (internal/adapt).
+type (
+	// AdaptiveConfig tunes the adaptive controller: window size,
+	// demotion/promotion thresholds, hysteresis streaks, dwell minimum,
+	// and the capped exponential probation backoff. The zero value
+	// selects the adapt package defaults.
+	AdaptiveConfig = adapt.Config
+	// AdaptiveLevel is an execution level of the adaptive scheme:
+	// LevelElide, LevelSCM, or LevelSerial.
+	AdaptiveLevel = adapt.Level
+	// AdaptiveTransition is one controller decision with its hot-swap
+	// timing (when the switch applied, when in-flight sections drained).
+	AdaptiveTransition = adapt.Transition
+)
+
+// The adaptive scheme's execution levels, most to least speculative.
+const (
+	LevelElide  = adapt.Elide
+	LevelSCM    = adapt.SCM
+	LevelSerial = adapt.Serial
+)
+
+// AdaptiveScheme is the extended interface Adaptive returns: a Scheme
+// whose execution level is controller-chosen per lock at runtime, with
+// the decision log exposed.
+type AdaptiveScheme interface {
+	Scheme
+	// Level returns the level new critical sections currently adopt.
+	Level() AdaptiveLevel
+	// Transitions returns the controller's decision log so far.
+	Transitions() []AdaptiveTransition
+}
+
+// Adaptive wraps lock in the runtime scheme controller: critical sections
+// run at full elision while it is profitable, degrade to software-assisted
+// conflict management when abort pressure or a collapsing speculative
+// fraction signals the Chapter 3 avalanche, fall to a pessimistic
+// serializing floor when even SCM cannot help (capacity-dominated abort
+// mixes go there directly), and climb back with hysteresis once the storm
+// passes. WithSCM supplies the auxiliary lock for the SCM rung (required;
+// the paper wants it starvation-free, e.g. an MCS lock), WithSCMTuning its
+// retry budget, and WithAdaptiveTuning the controller thresholds. Level
+// switches hot-swap: in-flight critical sections finish under the level
+// they started with while new arrivals use the new level.
+func Adaptive(lock Lock, opts ...Option) AdaptiveScheme {
+	c := applyOptions("Adaptive", opts)
+	if c.pessimistic || c.maxAttempts != 0 {
+		panic("hle: Adaptive: Pessimistic/MaxAttempts apply to Removal only")
+	}
+	if c.aux == nil {
+		panic("hle: Adaptive: requires WithSCM(aux) for its conflict-management rung")
+	}
+	return core.NewAdaptive(lock, c.aux, core.AdaptiveConfig{Controller: c.adapt, SCM: c.scm})
 }
 
 // ElideWithSCM wraps lock in HLE with software-assisted conflict

@@ -226,7 +226,18 @@ func (e *Engine) Grant(id int, clock, slice uint64) uint64 {
 // any scheme with a non-speculative fallback can always make progress
 // after the schedule drains — random schedules probe robustness, they
 // never manufacture a fault that no correct scheme could survive.
+//
+// Degenerate inputs are defined, not undefined: n <= 0 returns an empty
+// schedule, a horizon below 8 cycles is clamped to 8 (so window and stall
+// draws stay positive), and procs <= 0 panics — there is no thread to
+// target, so the caller's configuration is broken.
 func RandomSchedule(seed int64, procs int, horizon uint64, n int) []Fault {
+	if procs <= 0 {
+		panic(fmt.Sprintf("chaos: RandomSchedule procs=%d, need at least one thread", procs))
+	}
+	if n <= 0 {
+		return nil
+	}
 	rng := rand.New(rand.NewSource(seed))
 	if horizon < 8 {
 		horizon = 8

@@ -131,6 +131,61 @@ func TestRandomScheduleDeterministic(t *testing.T) {
 	}
 }
 
+// TestRandomScheduleDegenerateInputs pins the documented contract for
+// nonsense arguments: empty request -> empty schedule, tiny horizons are
+// clamped rather than crashing the divisor draws, and a threadless
+// configuration is caller error.
+func TestRandomScheduleDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		procs   int
+		horizon uint64
+		n       int
+		wantNil bool
+		panics  bool
+	}{
+		{name: "zero faults", procs: 4, horizon: 100_000, n: 0, wantNil: true},
+		{name: "negative faults", procs: 4, horizon: 100_000, n: -3, wantNil: true},
+		{name: "zero horizon clamps", procs: 4, horizon: 0, n: 5},
+		{name: "tiny horizon clamps", procs: 4, horizon: 7, n: 5},
+		{name: "one thread", procs: 1, horizon: 100_000, n: 5},
+		{name: "zero procs panics", procs: 0, horizon: 100_000, n: 5, panics: true},
+		{name: "negative procs panics", procs: -2, horizon: 100_000, n: 5, panics: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.panics {
+				defer func() {
+					if recover() == nil {
+						t.Error("no panic for a threadless configuration")
+					}
+				}()
+			}
+			faults := RandomSchedule(3, tc.procs, tc.horizon, tc.n)
+			if tc.panics {
+				t.Fatal("unreachable: panic expected")
+			}
+			if tc.wantNil {
+				if faults != nil {
+					t.Fatalf("want no faults, got %v", faults)
+				}
+				return
+			}
+			if len(faults) != tc.n {
+				t.Fatalf("drew %d faults, want %d", len(faults), tc.n)
+			}
+			for _, f := range faults {
+				if f.Until != 0 && f.Until <= f.At {
+					t.Errorf("fault %+v has an empty window", f)
+				}
+				if f.Proc >= tc.procs {
+					t.Errorf("fault %+v targets a thread beyond procs=%d", f, tc.procs)
+				}
+			}
+		})
+	}
+}
+
 // TestEmptyEngineIsInvisible: installing an engine with no faults (hooks
 // armed, nothing firing) must leave a measurement run byte-identical to an
 // injector-free run — the injection layer is zero-cost when off.

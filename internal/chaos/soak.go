@@ -3,6 +3,7 @@ package chaos
 import (
 	"sync"
 
+	"hle/internal/adapt"
 	"hle/internal/check"
 	"hle/internal/core"
 	"hle/internal/harness"
@@ -49,6 +50,9 @@ type SoakSpec struct {
 	// aborts the fault schedule provokes. Observation is passive: the
 	// soak runs byte-identically with or without it.
 	Observer tsx.Observer
+	// Adapt tunes the controller when Scheme.Scheme is "Adaptive"
+	// (nil selects the adapt defaults). Ignored otherwise.
+	Adapt *adapt.Config
 }
 
 // SoakResult is the outcome of one soak point.
@@ -66,6 +70,14 @@ type SoakResult struct {
 	// Schedule is the fault schedule that ran (useful when it was drawn
 	// randomly).
 	Schedule []Fault
+
+	// Adaptive-scheme extras, populated only when the soaked scheme was
+	// "Adaptive": the controller's transition log, the level in force
+	// when the run ended, and how many observed windows were spent at
+	// each level.
+	Transitions  []adapt.Transition
+	FinalLevel   adapt.Level
+	LevelWindows [adapt.NumLevels]int
 }
 
 // Ok reports whether the run survived: no watchdog trip, serializable.
@@ -242,6 +254,7 @@ func RunSoakFrom(img *SoakImage, spec SoakSpec) SoakResult {
 	mo := locks.NewMonitor()
 	sspec := spec.Scheme
 	sspec.Monitor = mo
+	sspec.Adapt = spec.Adapt
 
 	var scheme core.Scheme
 	m.RunOne(func(th *tsx.Thread) {
@@ -300,6 +313,11 @@ func RunSoakFrom(img *SoakImage, spec SoakSpec) SoakResult {
 	m.SetInjector(nil)
 
 	res := SoakResult{Ops: rec.Len(), Injected: engine.Counters(), Schedule: schedule}
+	if ad, ok := scheme.(*core.Adaptive); ok {
+		res.Transitions = append([]adapt.Transition(nil), ad.Transitions()...)
+		res.FinalLevel = ad.Level()
+		res.LevelWindows = ad.Controller().LevelWindows()
+	}
 	if m.Stopped() {
 		res.Failure = wd.Failure(m, threads)
 		return res

@@ -1,0 +1,87 @@
+package chaos
+
+// RecoveryScenario is a storm-recovery fault pattern for soaking the
+// adaptive controller: an abort storm begins mid-run, ends, and the run
+// continues long enough afterwards to observe recovery. StormStart and
+// StormEnd delimit the outermost storm window so assertions can bound
+// when the controller must have degraded (within the storm) and
+// re-promoted (after it).
+type RecoveryScenario struct {
+	Name   string
+	Faults []Fault
+	// StormStart and StormEnd are the first and last virtual cycles of
+	// fault pressure.
+	StormStart uint64
+	StormEnd   uint64
+	// Capacity marks scenarios whose storm is capacity-dominated — the
+	// controller is expected to demote straight to the serial floor
+	// rather than through SCM, even though only the structural share of
+	// the operation mix aborts (a moderate but permanent tax).
+	Capacity bool
+}
+
+// StormRecoveryScenarios returns the storm-recovery soak patterns over
+// the window [start, end):
+//
+//   - spurious-storm: every transactional access of every thread aborts
+//     for the whole window — the elision-hostile worst case; the
+//     controller must ride the ladder down to the serial floor and climb
+//     back after the window closes.
+//   - capacity-storm: the write capacity is squeezed to one line, so any
+//     structural update dies with a capacity abort; capacity-dominated
+//     mixes must demote directly to Serial (SCM cannot shrink a working
+//     set).
+//   - double-storm: two spurious bursts separated by a lull shorter than
+//     the controller's probation, probing that the lull does not bait a
+//     premature re-promotion flap.
+//   - storm-load-shift: a spurious storm followed by a post-storm grant
+//     skew that starves one thread's scheduling — the load shape after
+//     the storm differs from before it, and the controller must still
+//     re-promote.
+//
+// Every scenario targets all threads and lines, so its pressure is
+// independent of scheduling details and the patterns stay meaningful at
+// any thread count.
+func StormRecoveryScenarios(start, end uint64) []RecoveryScenario {
+	if end <= start {
+		panic("chaos: StormRecoveryScenarios needs start < end")
+	}
+	span := end - start
+	return []RecoveryScenario{
+		{
+			Name: "spurious-storm",
+			Faults: []Fault{
+				{Kind: SpuriousStorm, At: start, Until: end, Proc: -1, Line: -1},
+			},
+			StormStart: start,
+			StormEnd:   end,
+		},
+		{
+			Name: "capacity-storm",
+			Faults: []Fault{
+				{Kind: CapacitySqueeze, At: start, Until: end, Proc: -1, Line: -1, Arg: 1},
+			},
+			StormStart: start,
+			StormEnd:   end,
+			Capacity:   true,
+		},
+		{
+			Name: "double-storm",
+			Faults: []Fault{
+				{Kind: SpuriousStorm, At: start, Until: start + span*3/8, Proc: -1, Line: -1},
+				{Kind: SpuriousStorm, At: start + span*5/8, Until: end, Proc: -1, Line: -1},
+			},
+			StormStart: start,
+			StormEnd:   end,
+		},
+		{
+			Name: "storm-load-shift",
+			Faults: []Fault{
+				{Kind: SpuriousStorm, At: start, Until: end, Proc: -1, Line: -1},
+				{Kind: GrantSkew, At: end, Until: end + span, Proc: 0, Line: -1, Arg: 25},
+			},
+			StormStart: start,
+			StormEnd:   end,
+		},
+	}
+}

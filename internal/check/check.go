@@ -98,13 +98,20 @@ func (r *Recorder) Len() int { return len(r.log) }
 
 // RunChecked is a convenience: it wraps a critical section that draws a
 // ticket and produces a result, runs it under the scheme, and records the
-// completing execution.
+// completing execution. The ticket is drawn AFTER the operation body,
+// just before the section ends: it orders identically (the draw is inside
+// the same transaction or lock hold, so ticket order is commit order),
+// but the shared cell is exposed to conflicts for only the few cycles of
+// its read-modify-write instead of the whole operation — a start-of-
+// section draw would make every pair of overlapping speculations
+// conflict, serializing checked workloads no matter how disjoint their
+// data accesses are.
 func (r *Recorder) RunChecked(t *tsx.Thread, s core.Scheme, kind string, key uint64,
 	cs func() uint64) {
 	var seq, result uint64
 	s.Run(t, func() {
-		seq = r.Ticket(t)
 		result = cs()
+		seq = r.Ticket(t)
 	})
 	r.Record(Op{Seq: seq, Thread: t.ID, Kind: kind, Key: key, Result: result})
 }

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"hle/internal/adapt"
+	"hle/internal/locks"
+	"hle/internal/mem"
+	"hle/internal/obs"
+	"hle/internal/tsx"
+)
+
+// scmHeldWaitBound caps how many pause iterations the adaptive SCM rung
+// waits for the main lock to free after a lock-held abort. The static
+// HLESCM waits unboundedly — safe there because only giving-up aux
+// holders ever take the main lock — but the adaptive scheme's Serial
+// level can keep the main lock near-saturated while SCM sections drain.
+const scmHeldWaitBound = 64
+
+// AdaptiveConfig tunes the adaptive scheme: the controller's decision
+// thresholds plus the SCM retry budget its middle rung uses.
+type AdaptiveConfig struct {
+	// Controller tunes the adapt.Controller (zero fields defaulted).
+	Controller adapt.Config
+	// SCM tunes the software-assisted conflict management rung. Only
+	// MaxRetries is honoured; the Ideal nesting variant needs machine
+	// configuration the adaptive scheme does not assume.
+	SCM SCMConfig
+}
+
+// Adaptive executes critical sections at the level an adapt.Controller
+// chooses per window: Elide (RTM-based lock elision, the RTMLE mechanism),
+// SCM (Algorithm 3's software-assisted conflict management), or Serial
+// (the pessimistic SLR floor — one speculative probe, then the real lock).
+// Each level's loop is implemented inline rather than delegating to the
+// static schemes so every abort Status is visible for classification into
+// the obs.Feed the controller consumes; the mechanics deliberately mirror
+// RTMLE.Run, HLESCM.Run, and SLR.Run.
+//
+// Level changes hot-swap: critical sections entered after a decision run
+// at the new level immediately, while sections already in flight finish
+// under the level they started with, and the controller is told when the
+// last of them drains (no decision fires mid-drain). Mixing levels during
+// the drain window is safe because every level keeps the paper's
+// correctness contract with the same main lock: speculative runs at every
+// level check the lock at entry, keeping it in their read set, and abort
+// the moment a non-speculative holder appears.
+//
+// All scheme state is touched only by token-serialized simulated threads,
+// so the controller, feed, and drain bookkeeping need no host
+// synchronization and stay byte-deterministic at any -parallel.
+type Adaptive struct {
+	statsBase
+	main locks.Lock
+	aux  locks.Lock
+	cfg  AdaptiveConfig
+
+	ctl  *adapt.Controller
+	feed *obs.Feed
+
+	cur      adapt.Level            // level new critical sections adopt
+	prev     adapt.Level            // level being drained, meaningful while draining > 0
+	draining int                    // in-flight sections still running at prev
+	inflight [locks.MaxThreads]int8 // per-thread active level, -1 when idle
+
+	tap func(obs.WindowStats) // optional window observer, after the controller
+}
+
+// NewAdaptive builds an adaptive scheme over main. aux serializes the SCM
+// rung's aborters; the paper requires it starvation-free (an MCS lock).
+func NewAdaptive(main, aux locks.Lock, cfg AdaptiveConfig) *Adaptive {
+	if main == nil || aux == nil {
+		panic("core: Adaptive requires a main and an auxiliary lock")
+	}
+	ctl := adapt.NewController(cfg.Controller)
+	s := &Adaptive{main: main, aux: aux, cfg: cfg, ctl: ctl, cur: ctl.Level()}
+	s.feed = obs.NewFeed(ctl.Config().WindowCycles, func(w obs.WindowStats) {
+		ctl.Observe(w)
+		if s.tap != nil {
+			s.tap(w)
+		}
+	})
+	for i := range s.inflight {
+		s.inflight[i] = -1
+	}
+	return s
+}
+
+// Name implements Scheme.
+func (s *Adaptive) Name() string { return "Adaptive" }
+
+// Setup implements Scheme.
+func (s *Adaptive) Setup(t *tsx.Thread) {
+	s.main.Prepare(t)
+	s.aux.Prepare(t)
+}
+
+// Controller exposes the decision state machine (transition log, level
+// occupancy) for reporting and tests.
+func (s *Adaptive) Controller() *adapt.Controller { return s.ctl }
+
+// Level returns the level new critical sections currently adopt.
+func (s *Adaptive) Level() adapt.Level { return s.cur }
+
+// Transitions returns the controller's decision log.
+func (s *Adaptive) Transitions() []adapt.Transition { return s.ctl.Transitions() }
+
+// SetWindowTap installs an observer called with every closed feed window
+// after the controller has consumed it — for tests and reporting.
+// Observation is passive; install before the first Run.
+func (s *Adaptive) SetWindowTap(tap func(obs.WindowStats)) { s.tap = tap }
+
+// Run implements Scheme.
+func (s *Adaptive) Run(t *tsx.Thread, cs func()) Result {
+	// Deliver any windows that closed while the lock was quiet, so
+	// dwell/probation clocks advance even with sparse traffic.
+	s.feed.Tick(t.Clock())
+
+	// Apply a pending controller decision at the first entry after it,
+	// once any previous swap has fully drained.
+	if want := s.ctl.Level(); want != s.cur && s.draining == 0 {
+		n := 0
+		for _, lv := range s.inflight {
+			if lv == int8(s.cur) {
+				n++
+			}
+		}
+		s.prev, s.cur = s.cur, want
+		s.draining = n
+		s.ctl.NoteSwap(t.Clock(), n)
+	}
+
+	lvl := s.cur
+	s.inflight[t.ID] = int8(lvl)
+	var r Result
+	switch lvl {
+	case adapt.Elide:
+		r = s.runElide(t, cs)
+	case adapt.SCM:
+		r = s.runSCM(t, cs)
+	default:
+		r = s.runSerial(t, cs)
+	}
+	s.inflight[t.ID] = -1
+	if s.draining > 0 && lvl == s.prev {
+		s.draining--
+		if s.draining == 0 {
+			s.ctl.NoteDrained(t.Clock())
+		}
+	}
+	s.record(t.ID, r)
+	return r
+}
+
+// feedAbort classifies one aborted attempt into the controller's feed.
+// Injected aborts present as spurious (Status does not expose injection),
+// so chaos storms are indistinguishable from real spurious pressure —
+// exactly what a production controller would see.
+func (s *Adaptive) feedAbort(t *tsx.Thread, st tsx.Status) {
+	lockLine := false
+	if st.Cause == tsx.CauseConflict {
+		lockLine = t.Machine().IsLockLine(mem.LineOf(st.ConflictAddr))
+	}
+	s.feed.Abort(t.Clock(), obs.ClassOf(st.Cause, lockLine, false))
+}
+
+// runElide mirrors RTMLE.Run: HLE's policy via RTM, with the abort status
+// visible. One non-speculative acquisition attempt follows each abort.
+func (s *Adaptive) runElide(t *tsx.Thread, cs func()) Result {
+	var r Result
+	for {
+		if !s.main.Fair() {
+			for s.main.Held(t) {
+				t.Pause()
+			}
+		}
+		committed, st := t.RTM(func() {
+			r.Attempts++
+			if s.main.Held(t) {
+				t.Abort(abortCodeLockHeld)
+			}
+			cs()
+		})
+		if committed {
+			r.Spec = true
+			s.feed.Commit(t.Clock())
+			break
+		}
+		s.feedAbort(t, st)
+		if s.main.TryAcquire(t) {
+			r.Attempts++
+			t.MarkSerial(true)
+			cs()
+			t.MarkSerial(false)
+			s.main.Release(t)
+			r.Spec = false
+			s.feed.SerialOp(t.Clock())
+			break
+		}
+	}
+	return r
+}
+
+// runSCM mirrors HLESCM.Run (the implementation-remark form of
+// Algorithm 3): aborters serialize on the aux lock and rejoin
+// speculation; after the retry budget — or immediately on an abort the
+// hardware marks non-retryable, like capacity — the aux holder takes the
+// main lock.
+func (s *Adaptive) runSCM(t *tsx.Thread, cs func()) Result {
+	var r Result
+	retries := 0
+	auxOwner := false
+	for {
+		committed, st := t.RTM(func() {
+			r.Attempts++
+			if s.main.Held(t) {
+				t.Abort(abortCodeLockHeld)
+			}
+			cs()
+		})
+		if committed {
+			r.Spec = true
+			s.feed.Commit(t.Clock())
+			break
+		}
+		s.feedAbort(t, st)
+		if auxOwner {
+			retries++
+		} else {
+			s.aux.Acquire(t)
+			auxOwner = true
+			t.MarkSerial(true)
+		}
+		if retries >= s.cfg.SCM.maxRetries() || !st.MayRetry {
+			r.Attempts++
+			s.main.Acquire(t)
+			cs()
+			s.main.Release(t)
+			r.Spec = false
+			s.feed.SerialOp(t.Clock())
+			break
+		}
+		if st.Cause == tsx.CauseExplicit && st.Code == abortCodeLockHeld {
+			// Wait for the main lock to free before re-speculating —
+			// but bounded, unlike the static HLESCM. During a hot swap
+			// the Serial level keeps the main lock near-saturated, and
+			// an unbounded wait would park a draining SCM section for
+			// hundreds of thousands of cycles; after the bound, burn a
+			// retry (the next attempt re-aborts if still held) so the
+			// section converges to the fair main-lock acquisition.
+			for i := 0; i < scmHeldWaitBound && s.main.Held(t); i++ {
+				t.Pause()
+			}
+		}
+	}
+	if auxOwner {
+		t.MarkSerial(false)
+		s.aux.Release(t)
+	}
+	return r
+}
+
+// runSerial is the pessimistic floor: one speculative probe, then the
+// real lock. The probe keeps feeding the controller the signal it needs
+// to notice a storm has passed, so unlike SLR's commit-time test it
+// subscribes to the lock at ENTRY: a probe that starts while the floor's
+// serial path holds the lock dies immediately with an explicit abort, and
+// one overtaken mid-flight dies on the lock-line conflict — both classes
+// the controller's promotion rule discounts. A commit-time test would
+// instead let probes run full critical sections concurrently with a
+// holder and abort on the holder's data writes, polluting the recovery
+// signal with hard aborts the floor itself caused.
+func (s *Adaptive) runSerial(t *tsx.Thread, cs func()) Result {
+	var r Result
+	committed, st := t.RTM(func() {
+		r.Attempts++
+		if s.main.Held(t) {
+			t.Abort(abortCodeLockHeld)
+		}
+		cs()
+	})
+	if committed {
+		r.Spec = true
+		s.feed.Commit(t.Clock())
+		return r
+	}
+	s.feedAbort(t, st)
+	r.Attempts++
+	s.main.Acquire(t)
+	t.MarkSerial(true)
+	cs()
+	t.MarkSerial(false)
+	s.main.Release(t)
+	r.Spec = false
+	s.feed.SerialOp(t.Clock())
+	return r
+}

@@ -1,0 +1,58 @@
+package figures_test
+
+import (
+	"strconv"
+	"testing"
+
+	"hle/internal/figures"
+)
+
+// TestExtAdaptTracksBestStatic is the ext-adapt acceptance criterion: at
+// quick scale the adaptive scheme's throughput stays within tolerance of
+// the best static scheme at every sweep point, without knowing which rung
+// is best — the best static flips between RTM-LE and HLE-SCM across the
+// sweep. Per-point tolerance is generous (the controller pays real probe
+// and hysteresis costs near rung crossovers); the mean must be tighter.
+func TestExtAdaptTracksBestStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep at quick scale")
+	}
+	o := figures.Options{Quick: true, Seed: 1}
+	tables := figures.ByID("ext-adapt").Run(o)
+	if len(tables) != 1 {
+		t.Fatalf("want one table, got %d", len(tables))
+	}
+	tb := tables[0]
+	ratioCol, switchCol := -1, -1
+	for i, h := range tb.Header {
+		switch h {
+		case "adapt/best":
+			ratioCol = i
+		case "switches":
+			switchCol = i
+		}
+	}
+	if ratioCol < 0 || switchCol < 0 {
+		t.Fatalf("table header changed: %v", tb.Header)
+	}
+	sum := 0.0
+	for _, row := range tb.Rows {
+		ratio, err := strconv.ParseFloat(row[ratioCol], 64)
+		if err != nil {
+			t.Fatalf("row %v: bad ratio: %v", row, err)
+		}
+		if ratio < 0.70 {
+			t.Errorf("point %s/%s: adaptive at %.2f of best static", row[0], row[1], ratio)
+		}
+		sum += ratio
+		// The switch count is probation-bounded probing, not flapping: a
+		// runaway controller would rack up hundreds of transitions in a
+		// 500k-cycle budget (100 windows).
+		if n, _ := strconv.Atoi(row[switchCol]); n > 40 {
+			t.Errorf("point %s/%s: %d controller switches", row[0], row[1], n)
+		}
+	}
+	if mean := sum / float64(len(tb.Rows)); mean < 0.85 {
+		t.Errorf("mean adaptive/best ratio %.3f, want >= 0.85", mean)
+	}
+}

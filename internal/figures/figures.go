@@ -151,6 +151,7 @@ func All() []Figure {
 		{"ext-cslen", "Extension: critical-section length sensitivity", ExtCSLength},
 		{"ext-stamp", "Extension: capacity-bound STAMP workload (labyrinth)", ExtStamp},
 		{"ext-chaos", "Extension: chaos soak — fault injection under watchdogs, serializability-checked", ExtChaos},
+		{"ext-adapt", "Extension: adaptive per-lock controller vs static schemes across contention", ExtAdapt},
 	}
 }
 

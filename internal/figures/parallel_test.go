@@ -32,9 +32,13 @@ func renderFigure(t *testing.T, id string, o figures.Options) string {
 // ring — the table doubles as the assertion that the injection hooks are
 // zero-cost when no fault fires: any hook overhead or cross-point state
 // leak would shift a soak's interleaving and change the counted columns
-// between worker counts.
+// between worker counts. ext-adapt exercises the adaptive scheme's
+// controller, feed, and hot-swap drain bookkeeping (all per-machine state
+// touched on the simulated hot path) plus its always-on profile
+// collection — the switch counts in the table would expose any
+// worker-count-dependent controller behavior.
 func TestParallelismDoesNotChangeOutput(t *testing.T) {
-	for _, id := range []string{"3.1", "abl-spur", "ext-chaos"} {
+	for _, id := range []string{"3.1", "abl-spur", "ext-chaos", "ext-adapt"} {
 		o := tinyOpts()
 		o.Parallel = 1
 		seq := renderFigure(t, id, o)

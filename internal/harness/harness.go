@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 
+	"hle/internal/adapt"
 	"hle/internal/core"
 	"hle/internal/hwext"
 	"hle/internal/locks"
@@ -177,19 +178,51 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 		// Stamp the engine's own abort total for the attribution
 		// invariant: sum(Causes) == TotalAborts == EngineAborts.
 		res.Profile.EngineAborts = res.TSX.TotalAborts()
+		// Adaptive runs carry their scheme-transition log in the profile,
+		// so -profile surfaces the controller's decisions alongside the
+		// abort attribution that drove them.
+		if ad, ok := scheme.(*core.Adaptive); ok {
+			res.Profile.Controller = ControllerEvents(ad.Transitions())
+		}
 	}
 	return res
+}
+
+// ControllerEvents converts an adapt transition log to the obs profile's
+// dependency-free representation.
+func ControllerEvents(trs []adapt.Transition) []obs.ControllerEvent {
+	if len(trs) == 0 {
+		return nil
+	}
+	out := make([]obs.ControllerEvent, len(trs))
+	for i, tr := range trs {
+		out[i] = obs.ControllerEvent{
+			Seq:        tr.Seq,
+			Window:     tr.Window,
+			Clock:      tr.Clock,
+			From:       tr.From.String(),
+			To:         tr.To.String(),
+			Reason:     tr.Reason,
+			SwapClock:  tr.SwapClock,
+			DrainClock: tr.DrainClock,
+			Inflight:   tr.Inflight,
+		}
+	}
+	return out
 }
 
 // SchemeSpec names a scheme and, where applicable, how to build it.
 type SchemeSpec struct {
 	// Scheme is one of: Standard, NoLock, HLE, HLE-HWExt, RTM-LE,
 	// HLE-SCM, HLE-SCM-ideal, HLE-SCM-multi, Pes-SLR, Opt-SLR,
-	// Opt-SLR-SCM.
+	// Opt-SLR-SCM, Adaptive.
 	Scheme string
 	// Lock is a locks.MakerByName name: TTAS, MCS, Ticket, AdjTicket,
 	// CLH, AdjCLH. Ignored by NoLock.
 	Lock string
+	// Adapt tunes the Adaptive scheme's controller; nil selects the
+	// adapt defaults. Ignored by every other scheme.
+	Adapt *adapt.Config
 	// Monitor, when non-nil, wraps the scheme's locks (main and
 	// auxiliary) with locks.Monitored so their non-speculative
 	// transitions feed a waits-for graph — pair it with
@@ -245,6 +278,12 @@ func (s SchemeSpec) Build(t *tsx.Thread) core.Scheme {
 		return core.NewSLR(main, 0)
 	case "Opt-SLR-SCM":
 		return core.NewSLRSCM(main, aux(), core.SCMConfig{})
+	case "Adaptive":
+		var acfg core.AdaptiveConfig
+		if s.Adapt != nil {
+			acfg.Controller = *s.Adapt
+		}
+		return core.NewAdaptive(main, aux(), acfg)
 	}
 	panic("harness: unknown scheme " + s.Scheme)
 }

@@ -252,33 +252,12 @@ func (c *Collector) leaveTx(ts *threadState, clock uint64) {
 	c.setMode(ts, clock, mode)
 }
 
-// classify maps an engine abort to its enriched class.
+// classify maps an engine abort to its enriched class by resolving the
+// conflicting line against the machine's lock-line registry and deferring
+// to the shared ClassOf rule.
 func (c *Collector) classify(cause tsx.Cause, line int, injected bool) Class {
-	switch cause {
-	case tsx.CauseConflict:
-		if c.m != nil && c.m.IsLockLine(line) {
-			return ClassConflictLockLine
-		}
-		return ClassConflictDataLine
-	case tsx.CauseCapacityWrite:
-		return ClassCapacityWrite
-	case tsx.CauseCapacityRead:
-		return ClassCapacityRead
-	case tsx.CauseSpurious:
-		if injected {
-			return ClassInjected
-		}
-		return ClassSpurious
-	case tsx.CausePause:
-		return ClassPause
-	case tsx.CauseExplicit:
-		return ClassExplicit
-	case tsx.CauseHLERestore:
-		return ClassHLERestore
-	case tsx.CauseNested:
-		return ClassNested
-	}
-	return ClassSpurious // unreachable: finishAbort always has a cause
+	lockLine := cause == tsx.CauseConflict && c.m != nil && c.m.IsLockLine(line)
+	return ClassOf(cause, lockLine, injected)
 }
 
 // Serial implements tsx.Observer.

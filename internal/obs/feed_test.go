@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"testing"
+
+	"hle/internal/tsx"
+)
+
+// TestFeedWindowSequencing drives a feed through anchored, consecutive,
+// skipped, and late-clock events and checks the delivered window stream:
+// every window from the anchoring one onward arrives exactly once, in
+// order, empty windows included.
+func TestFeedWindowSequencing(t *testing.T) {
+	var got []WindowStats
+	f := NewFeed(100, func(w WindowStats) { got = append(got, w) })
+
+	// The first event anchors window 3; nothing is delivered yet.
+	f.Commit(350)
+	if len(got) != 0 {
+		t.Fatalf("delivery before the anchoring window closed: %+v", got)
+	}
+
+	// Same window: accumulate.
+	f.Abort(399, ClassConflictDataLine)
+	f.SerialOp(399)
+
+	// Next window: window 3 is delivered.
+	f.Commit(401)
+	if len(got) != 1 {
+		t.Fatalf("want 1 delivered window, got %d", len(got))
+	}
+	w := got[0]
+	if w.Index != 3 || w.Commits != 1 || w.Aborts != 1 || w.DataLine != 1 || w.Serial != 1 {
+		t.Fatalf("window 3 miscounted: %+v", w)
+	}
+
+	// A clock regression (an earlier per-thread virtual clock) folds into
+	// the current window instead of reopening a delivered one.
+	f.Commit(360)
+	// Jumping three windows ahead delivers 4 (with both commits), then
+	// empty 5 and 6.
+	f.Abort(705, ClassExplicit)
+	if len(got) != 4 {
+		t.Fatalf("want 4 delivered windows after skip, got %d: %+v", len(got), got)
+	}
+	if got[1].Index != 4 || got[1].Commits != 2 {
+		t.Fatalf("regressed event not folded into window 4: %+v", got[1])
+	}
+	for i, idx := range []int{5, 6} {
+		e := got[2+i]
+		if e.Index != idx || e.Events() != 0 {
+			t.Fatalf("intermediate window %d not delivered empty: %+v", idx, e)
+		}
+	}
+
+	// Tick delivers closed windows without recording anything.
+	f.Tick(1000)
+	if len(got) != 7 || got[6].Index != 9 {
+		t.Fatalf("tick did not deliver through window 9: %d windows, last %+v",
+			len(got), got[len(got)-1])
+	}
+	if got[4].Events() != 1 || got[4].Explicit != 1 {
+		t.Fatalf("window 7 lost its explicit abort: %+v", got[4])
+	}
+
+	// Flush delivers the open partial window only if it has events.
+	f.Flush() // window 10 is untouched: nothing delivered
+	if len(got) != 7 {
+		t.Fatalf("flush of an empty window delivered: %+v", got[len(got)-1])
+	}
+	f.Commit(1010)
+	f.Flush()
+	if len(got) != 8 || got[7].Index != 10 || got[7].Commits != 1 {
+		t.Fatalf("flush did not deliver the partial window: %+v", got[len(got)-1])
+	}
+}
+
+// TestFeedAbortClasses checks the class-to-counter mapping, including the
+// breakdown invariant.
+func TestFeedAbortClasses(t *testing.T) {
+	var got []WindowStats
+	f := NewFeed(100, func(w WindowStats) { got = append(got, w) })
+	classes := []Class{
+		ClassConflictLockLine, ClassConflictDataLine,
+		ClassCapacityWrite, ClassCapacityRead,
+		ClassExplicit, ClassSpurious, ClassInjected,
+	}
+	for _, c := range classes {
+		f.Abort(10, c)
+	}
+	f.Tick(250)
+	if len(got) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(got))
+	}
+	w := got[0]
+	if w.Aborts != uint64(len(classes)) {
+		t.Fatalf("aborts %d, want %d", w.Aborts, len(classes))
+	}
+	if w.LockLine != 1 || w.DataLine != 1 || w.Capacity != 2 || w.Explicit != 1 || w.Other != 2 {
+		t.Fatalf("class breakdown wrong: %+v", w)
+	}
+	if w.LockLine+w.DataLine+w.Capacity+w.Explicit+w.Other != w.Aborts {
+		t.Fatalf("breakdown does not sum to aborts: %+v", w)
+	}
+}
+
+// TestFeedNilSink: a feed without a sink (the zero-cost-when-off
+// configuration) accepts events and never panics.
+func TestFeedNilSink(t *testing.T) {
+	f := NewFeed(0, nil)
+	if f.WindowCycles() != DefaultWindowCycles {
+		t.Fatalf("zero windowCycles not defaulted: %d", f.WindowCycles())
+	}
+	f.Commit(1)
+	f.Abort(DefaultWindowCycles+1, ClassSpurious)
+	f.SerialOp(3 * DefaultWindowCycles)
+	f.Tick(10 * DefaultWindowCycles)
+	f.Flush()
+}
+
+// TestFeedSteadyStateAllocs: feeding events and rolling windows is
+// allocation-free — the controller runs on the simulator's hot path.
+func TestFeedSteadyStateAllocs(t *testing.T) {
+	sunk := 0
+	f := NewFeed(100, func(WindowStats) { sunk++ })
+	clock := uint64(0)
+	if avg := testing.AllocsPerRun(1000, func() {
+		clock += 37
+		f.Commit(clock)
+		f.Abort(clock, ClassConflictLockLine)
+		f.SerialOp(clock)
+		f.Tick(clock + 50)
+	}); avg != 0 {
+		t.Fatalf("feed allocates in steady state: %v allocs/op", avg)
+	}
+	if sunk == 0 {
+		t.Fatal("sink never saw a window — the loop did not exercise delivery")
+	}
+}
+
+// BenchmarkFeed measures the per-event cost of the incremental feed; the
+// zero-allocation claim is enforced by ReportAllocs.
+func BenchmarkFeed(b *testing.B) {
+	b.ReportAllocs()
+	f := NewFeed(DefaultWindowCycles, func(WindowStats) {})
+	clock := uint64(0)
+	for i := 0; i < b.N; i++ {
+		clock += 97
+		f.Commit(clock)
+		f.Abort(clock, ClassConflictDataLine)
+	}
+}
+
+// TestClassOf pins the shared classification rule both the batch
+// collector and the feed producers rely on.
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		cause              tsx.Cause
+		lockLine, injected bool
+		want               Class
+	}{
+		{tsx.CauseConflict, true, false, ClassConflictLockLine},
+		{tsx.CauseConflict, false, false, ClassConflictDataLine},
+		{tsx.CauseCapacityWrite, false, false, ClassCapacityWrite},
+		{tsx.CauseCapacityRead, false, false, ClassCapacityRead},
+		{tsx.CauseSpurious, false, false, ClassSpurious},
+		{tsx.CauseSpurious, false, true, ClassInjected},
+		{tsx.CauseExplicit, false, false, ClassExplicit},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.cause, c.lockLine, c.injected); got != c.want {
+			t.Errorf("ClassOf(%v, lock=%v, injected=%v) = %v, want %v",
+				c.cause, c.lockLine, c.injected, got, c.want)
+		}
+	}
+}

@@ -152,6 +152,32 @@ type Histogram struct {
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
+// ControllerEvent is one adaptive-controller scheme transition, stamped
+// into a Profile by the harness when the profiled scheme is adaptive. The
+// fields mirror adapt.Transition; they live here (as plain strings and
+// clocks) so the profile pipeline carries transition logs without obs
+// depending on the controller package.
+type ControllerEvent struct {
+	// Seq orders the transitions; Window is the feed window whose stats
+	// triggered the decision, Clock its closing virtual cycle.
+	Seq    int    `json:"seq"`
+	Window int    `json:"window"`
+	Clock  uint64 `json:"clock"`
+	// From and To are level names ("elide", "scm", "serial").
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Reason is the decision rule that fired ("abort-pressure",
+	// "serial-pressure", "capacity", "recovered").
+	Reason string `json:"reason"`
+	// SwapClock is when the scheme began routing new critical sections
+	// to the new level; DrainClock is when the last in-flight section
+	// still running under the old level finished (equal to SwapClock
+	// when nothing was in flight). Inflight counts the drained sections.
+	SwapClock  uint64 `json:"swap_clock"`
+	DrainClock uint64 `json:"drain_clock"`
+	Inflight   int    `json:"inflight"`
+}
+
 // Profile is a collector's exported result. All slices are explicitly
 // ordered, so marshaling a Profile is deterministic.
 type Profile struct {
@@ -177,6 +203,9 @@ type Profile struct {
 	Lines      []LineHeat       `json:"lines,omitempty"`
 	Timeline   []Window         `json:"timeline,omitempty"`
 	Latency    []Histogram      `json:"latency,omitempty"`
+	// Controller is the adaptive scheme-transition log, present only when
+	// the profiled scheme is hle.Adaptive.
+	Controller []ControllerEvent `json:"controller,omitempty"`
 }
 
 // JSON renders the profile as indented JSON. Equal seeds yield
@@ -235,6 +264,12 @@ func (p *Profile) Merge(other *Profile) {
 	p.Lines = mergeLines(p.Lines, other.Lines)
 	p.Timeline = mergeTimeline(p.Timeline, other.Timeline)
 	p.Latency = mergeLatency(p.Latency, other.Latency)
+	// Transition logs concatenate in run order; Seq is renumbered so the
+	// merged log stays totally ordered.
+	p.Controller = append(p.Controller, other.Controller...)
+	for i := range p.Controller {
+		p.Controller[i].Seq = i
+	}
 }
 
 // mergeCauses merges two cause lists, preserving canonical class order.
@@ -470,6 +505,16 @@ func (p *Profile) Text() string {
 			}
 			fmt.Fprintf(&b, "  %6d %10d %10d %10d  %s\n",
 				t.Thread, t.Begun, t.Commits, t.Aborts, top)
+		}
+	}
+	if len(p.Controller) > 0 {
+		b.WriteString("\nadaptive controller transitions:\n")
+		fmt.Fprintf(&b, "  %4s %8s %12s  %-6s %2s %-6s  %-16s %10s %8s\n",
+			"seq", "window", "clock", "from", "", "to", "reason", "drain@", "inflight")
+		for _, ev := range p.Controller {
+			fmt.Fprintf(&b, "  %4d %8d %12d  %-6s -> %-6s  %-16s %10d %8d\n",
+				ev.Seq, ev.Window, ev.Clock, ev.From, ev.To, ev.Reason,
+				ev.DrainClock, ev.Inflight)
 		}
 	}
 	b.WriteString(p.HeatmapText())

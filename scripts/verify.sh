@@ -12,8 +12,13 @@ go vet ./...
 go test -timeout 300s ./...
 go test -race -timeout 300s ./internal/harness/... ./internal/tsx/... ./internal/mem/...
 # The profiler is handed across host goroutines by the parallel runner, so
-# its suite runs under the race detector too.
-go test -race -count=1 -timeout 300s ./internal/obs
+# its suite runs under the race detector too — and the adaptive controller
+# rides the profiler's windowed feed, so it gets the same treatment.
+go test -race -count=1 -timeout 300s ./internal/obs ./internal/adapt
+# Storm-recovery soak, quick tier: the adaptive controller demoted by an
+# injected abort storm must re-promote within its window bounds, without
+# flapping, and stay serializable across every hot swap.
+go test -count=1 -timeout 300s -run 'TestStormRecoveryMatrix|TestStormRecoveryDeterministic' -short ./internal/chaos
 # The explorer fans its frontier across host workers; run its suite under
 # the race detector too, but -short (the quick battery alone — the race
 # detector is ~10x, so the deeper two-op configurations stay in plain mode).
