@@ -8,6 +8,13 @@
 //	hle-bench -all [-quick] [-timing bench.json]
 //	hle-bench -fig 3.1 -profile json -profile-out profiles.json
 //	hle-bench -explore [-quick] [-parallel 4]
+//	hle-bench -shard-bench shard.json [-quick] [-shard-guard BENCH_shard.json]
+//
+// -shard-bench runs the sharded-store sweep (figure ext-shard) and writes
+// its benchmark record — every point's throughput, the two regimes, the
+// skew crossover, and the wall clock — to the given file; -shard-guard
+// compares the wall clock against the quick-tier time recorded in
+// BENCH_shard.json and fails on a >2x regression.
 //
 // -explore replaces figure generation with the bounded model-checking
 // sweep (internal/explore): every scheme crossed with every sweep lock,
@@ -82,6 +89,8 @@ func main() {
 		scratch    = flag.Bool("scratch", false, "explore: replay every node from scratch (same as -chain -1; the differential baseline)")
 		validate   = flag.Bool("validate-forks", false, "explore: cross-check every forked node against a scratch replay (slow; audits bit-identity)")
 		guard      = flag.String("explore-guard", "", "explore: fail if the sweep runs over 2x the quick-tier wall clock recorded in this BENCH_explore.json")
+		shardBench = flag.String("shard-bench", "", "run the sharded-store sweep (ext-shard) and write its benchmark record (points, regimes, crossover, wall clock) to this JSON file")
+		shardGuard = flag.String("shard-guard", "", "with -shard-bench: fail if the sweep runs over 2x the quick-tier wall clock recorded in this BENCH_shard.json")
 		profile    = flag.String("profile", "", "collect per-point abort-attribution profiles: json or text")
 		profileOut = flag.String("profile-out", "", "write -profile output to this file instead of stdout")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -198,6 +207,19 @@ func main() {
 		for _, f := range figures.All() {
 			fmt.Printf("%-8s %s\n", f.ID, f.Title)
 		}
+	case *shardBench != "":
+		curFig = "ext-shard"
+		start := time.Now()
+		bench, tables := figures.ShardSweep(opts)
+		bench.Seconds = time.Since(start).Seconds()
+		printTables(tables, *csv)
+		if err := os.WriteFile(*shardBench, bench.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hle-bench: writing shard bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *shardGuard != "" {
+			guardShardTime(*shardGuard, bench.Seconds)
+		}
 	case *all:
 		for _, f := range figures.All() {
 			fmt.Printf("\n### Figure %s — %s\n\n", f.ID, f.Title)
@@ -206,12 +228,18 @@ func main() {
 	case *figID != "":
 		f := figures.ByID(*figID)
 		if f == nil {
-			ids := make([]string, 0, len(figures.All()))
+			// Group the valid ids by family so the error stays readable as
+			// the extension list grows.
+			var core, ext []string
 			for _, f := range figures.All() {
-				ids = append(ids, f.ID)
+				if strings.HasPrefix(f.ID, "ext-") {
+					ext = append(ext, f.ID)
+				} else {
+					core = append(core, f.ID)
+				}
 			}
-			fmt.Fprintf(os.Stderr, "hle-bench: unknown figure %q; valid ids: %s\n",
-				*figID, strings.Join(ids, ", "))
+			fmt.Fprintf(os.Stderr, "hle-bench: unknown figure %q; valid ids:\n  core: %s\n  extensions: %s\n",
+				*figID, strings.Join(core, ", "), strings.Join(ext, ", "))
 			os.Exit(1)
 		}
 		fmt.Printf("### Figure %s — %s\n\n", f.ID, f.Title)
@@ -456,6 +484,37 @@ func guardExploreTime(file string, measured float64) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "explore-guard: %.1fs within 2x of recorded %.1fs\n", measured, recorded)
+}
+
+// guardShardTime is the sharded sweep's CI wall-clock gate, mirroring
+// guardExploreTime: the measured quick sweep must stay within 2x the
+// quick-tier time recorded in BENCH_shard.json.
+func guardShardTime(file string, measured float64) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hle-bench: -shard-guard: %v\n", err)
+		os.Exit(1)
+	}
+	var bench struct {
+		Recorded struct {
+			Quick figures.ShardBench `json:"quick"`
+		} `json:"recorded"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		fmt.Fprintf(os.Stderr, "hle-bench: -shard-guard: %v\n", err)
+		os.Exit(1)
+	}
+	recorded := bench.Recorded.Quick.Seconds
+	if recorded <= 0 {
+		fmt.Fprintf(os.Stderr, "hle-bench: -shard-guard: %s records no quick-tier wall clock\n", file)
+		os.Exit(1)
+	}
+	if measured > 2*recorded {
+		fmt.Fprintf(os.Stderr, "hle-bench: -shard-guard: sweep took %.1fs, over 2x the recorded %.1fs — sharded-store performance regressed\n",
+			measured, recorded)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "shard-guard: %.1fs within 2x of recorded %.1fs\n", measured, recorded)
 }
 
 func printTables(tables []*stats.Table, csv bool) {

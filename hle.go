@@ -358,43 +358,6 @@ func Adaptive(lock Lock, opts ...Option) AdaptiveScheme {
 	return core.NewAdaptive(lock, c.aux, core.AdaptiveConfig{Controller: c.adapt, SCM: c.scm})
 }
 
-// ElideWithSCM wraps lock in HLE with software-assisted conflict
-// management over aux.
-//
-// Deprecated: use Elide(lock, WithSCM(aux)).
-func ElideWithSCM(lock, aux Lock) Scheme {
-	return Elide(lock, WithSCM(aux))
-}
-
-// ElideWithSCMConfig is ElideWithSCM with explicit tuning.
-//
-// Deprecated: use Elide(lock, WithSCM(aux), WithSCMTuning(cfg)).
-func ElideWithSCMConfig(lock, aux Lock, cfg core.SCMConfig) Scheme {
-	return Elide(lock, WithSCM(aux), WithSCMTuning(cfg))
-}
-
-// LockRemoval wraps lock in optimistic software lock removal with the
-// given speculative retry budget (0 selects the paper's 10).
-//
-// Deprecated: use Removal(lock, MaxAttempts(n)).
-func LockRemoval(lock Lock, maxAttempts int) Scheme {
-	return Removal(lock, MaxAttempts(maxAttempts))
-}
-
-// PessimisticLockRemoval gives up after a single speculative failure.
-//
-// Deprecated: use Removal(lock, Pessimistic()).
-func PessimisticLockRemoval(lock Lock) Scheme {
-	return Removal(lock, Pessimistic())
-}
-
-// LockRemovalWithSCM applies conflict management to lock removal.
-//
-// Deprecated: use Removal(lock, WithSCM(aux)).
-func LockRemovalWithSCM(lock, aux Lock) Scheme {
-	return Removal(lock, WithSCM(aux))
-}
-
 // ElideWithHardwareExtension pairs with WithHardwareExtension: plain HLE
 // on a machine whose conflict detection distinguishes the lock line from
 // data lines (Chapter 7).

@@ -98,18 +98,26 @@ type Scheme interface {
 	TotalStats() OpStats
 }
 
-// statsBase provides the stats plumbing shared by all schemes.
-type statsBase struct {
+// SchemeStats provides the per-thread stats plumbing shared by all
+// schemes. It is exported so composite schemes built outside this package
+// (the sharded store) can account operations the same way.
+type SchemeStats struct {
 	perThread [locks.MaxThreads]OpStats
 }
 
-func (b *statsBase) record(id int, r Result) { b.perThread[id].record(r) }
+// statsBase is the embedded name this package's schemes use.
+type statsBase = SchemeStats
+
+func (b *SchemeStats) record(id int, r Result) { b.perThread[id].record(r) }
+
+// Record accumulates one completed critical-section result for a thread.
+func (b *SchemeStats) Record(id int, r Result) { b.record(id, r) }
 
 // Stats implements Scheme.
-func (b *statsBase) Stats(threadID int) OpStats { return b.perThread[threadID] }
+func (b *SchemeStats) Stats(threadID int) OpStats { return b.perThread[threadID] }
 
 // TotalStats implements Scheme.
-func (b *statsBase) TotalStats() OpStats {
+func (b *SchemeStats) TotalStats() OpStats {
 	var total OpStats
 	for i := range b.perThread {
 		total.Add(b.perThread[i])

@@ -1,0 +1,70 @@
+package figures_test
+
+import (
+	"testing"
+	"time"
+
+	"hle/internal/figures"
+)
+
+// TestExtShardRegimes is the ext-shard acceptance criterion, at quick
+// scale: the sweep must demonstrate both regimes — under uniform load the
+// plain-lock sharded store beats the best single-lock elided store
+// (partitioning removes contention), and under the highest swept Zipf
+// skew an eliding scheme beats the plain-lock store at the same shard
+// count (inside a hot shard, only elision keeps readers concurrent) —
+// and the recorded crossover must be consistent with the points.
+func TestExtShardRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep at quick scale")
+	}
+	o := figures.Options{Quick: true, Seed: 1}
+	start := time.Now()
+	bench, tables := figures.ShardSweep(o)
+	secs := time.Since(start).Seconds()
+	t.Logf("quick sweep: %d points in %.1fs", len(bench.Points), secs)
+
+	r := bench.Regimes
+	if r.ShardingGain <= 1 {
+		t.Errorf("uniform regime failed: sharded plain %.0f <= global elided %.0f (gain %.2f)",
+			r.UniformShardedPlain, r.UniformGlobalElision, r.ShardingGain)
+	}
+	if r.ElisionGain <= 1 || r.SkewBestScheme == "" {
+		t.Errorf("skew regime failed: best elided %s %.0f vs sharded plain %.0f (gain %.2f)",
+			r.SkewBestScheme, r.SkewBestElided, r.SkewShardedPlain, r.ElisionGain)
+	}
+	if r.CrossoverSkew < 0 {
+		t.Error("no crossover skew recorded despite elision winning at max skew")
+	}
+
+	// The bench record covers the full cross product.
+	if want := 2 * 4 * 2 * 2; len(bench.Points) != want { // shards x schemes x skews x mixes (quick)
+		t.Errorf("bench records %d points, want %d", len(bench.Points), want)
+	}
+	for _, p := range bench.Points {
+		if p.Throughput <= 0 {
+			t.Errorf("point %+v measured no throughput", p)
+		}
+	}
+
+	// Sweep, regimes, and hot-shard heatmap tables; the heatmap must carry
+	// real attribution (elision at max skew produces conflict aborts).
+	if len(tables) != 3 {
+		t.Fatalf("want 3 tables (sweep, regimes, heatmap), got %d", len(tables))
+	}
+	heat := tables[2]
+	if len(heat.Rows) == 0 {
+		t.Fatal("heatmap has no shard rows")
+	}
+	nonZero := false
+	for _, row := range heat.Rows {
+		for _, cell := range row[1:] {
+			if cell != "0(0)" {
+				nonZero = true
+			}
+		}
+	}
+	if !nonZero {
+		t.Error("heatmap attributes no conflict aborts to any shard")
+	}
+}

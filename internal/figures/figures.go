@@ -152,6 +152,7 @@ func All() []Figure {
 		{"ext-stamp", "Extension: capacity-bound STAMP workload (labyrinth)", ExtStamp},
 		{"ext-chaos", "Extension: chaos soak — fault injection under watchdogs, serializability-checked", ExtChaos},
 		{"ext-adapt", "Extension: adaptive per-lock controller vs static schemes across contention", ExtAdapt},
+		{"ext-shard", "Extension: sharded elided store under internet-shaped traffic (skew, storms, tenants)", ExtShard},
 	}
 }
 

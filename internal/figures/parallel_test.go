@@ -36,9 +36,12 @@ func renderFigure(t *testing.T, id string, o figures.Options) string {
 // controller, feed, and hot-swap drain bookkeeping (all per-machine state
 // touched on the simulated hot path) plus its always-on profile
 // collection — the switch counts in the table would expose any
-// worker-count-dependent controller behavior.
+// worker-count-dependent controller behavior. ext-shard exercises the
+// sharded-store path: per-point scheme construction over a shared warm
+// Data image (MkScheme after the checkpoint fork), harness op routing,
+// and the heatmap table built from always-attached hot-point profiles.
 func TestParallelismDoesNotChangeOutput(t *testing.T) {
-	for _, id := range []string{"3.1", "abl-spur", "ext-chaos", "ext-adapt"} {
+	for _, id := range []string{"3.1", "abl-spur", "ext-chaos", "ext-adapt", "ext-shard"} {
 		o := tinyOpts()
 		o.Parallel = 1
 		seq := renderFigure(t, id, o)

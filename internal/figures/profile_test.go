@@ -65,7 +65,7 @@ func TestProfileOutputParallelDeterminism(t *testing.T) {
 		fig.Run(o)
 		return buf.Bytes()
 	}
-	for _, id := range []string{"3.1", "ext-chaos"} {
+	for _, id := range []string{"3.1", "ext-chaos", "ext-shard"} {
 		seq := collect(id, 1)
 		par := collect(id, 8)
 		if len(seq) == 0 {

@@ -25,6 +25,10 @@ const (
 	OpLookup OpKind = iota
 	OpInsert
 	OpDelete
+	// OpScan is a cross-shard operation (consistent size/snapshot) on
+	// sharded workloads: under an OpRouter scheme it runs holding every
+	// shard lock instead of one shard's.
+	OpScan
 )
 
 // Op is one drawn operation, executed via Workload.Exec. Ops are plain
@@ -54,6 +58,16 @@ type Workload interface {
 	// Exec runs op's critical section on t. It must be idempotent under
 	// rollback, which all simulated-memory operations are.
 	Exec(t *tsx.Thread, op Op)
+}
+
+// OpRouter is implemented by schemes that dispatch operations to
+// different synchronization domains — the sharded store routes each op to
+// its key's shard lock and scans to an all-shard section. When the scheme
+// under measurement implements OpRouter, Run hands it the drawn Op along
+// with the critical section; otherwise every op runs under the scheme's
+// single Run path.
+type OpRouter interface {
+	RunOp(t *tsx.Thread, op Op, cs func()) core.Result
 }
 
 // Config controls one measurement run.
@@ -128,6 +142,8 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 		col.SetLabel(scheme.Name())
 		defer col.Detach()
 	}
+	// Routing is resolved once per run, not per op.
+	router, routed := scheme.(OpRouter)
 	var res Result
 	threads := m.Run(cfg.Threads, func(t *tsx.Thread) {
 		scheme.Setup(t)
@@ -137,7 +153,12 @@ func Run(m *tsx.Machine, scheme core.Scheme, w Workload, cfg Config) Result {
 		cs := func() { w.Exec(t, op) }
 		for t.Clock() < end {
 			op = w.NextOp(t)
-			r := scheme.Run(t, cs)
+			var r core.Result
+			if routed {
+				r = router.RunOp(t, op, cs)
+			} else {
+				r = scheme.Run(t, cs)
+			}
 			// Shared state is safe: simulated execution is
 			// token-serialized.
 			if wd != nil {

@@ -1,0 +1,35 @@
+package obs_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hle/internal/obs"
+)
+
+// TestHeatByPrefix checks grouping of the conflict heatmap by label
+// prefix: lines labeled "s03/lock" and "s03/size" merge into group "s03",
+// labels without a '/' group under the full label, unlabeled lines group
+// under "", and ordering is by count descending then prefix ascending.
+func TestHeatByPrefix(t *testing.T) {
+	p := &obs.Profile{Lines: []obs.LineHeat{
+		{Line: 1, Label: "s03/lock", LockLine: true, Count: 10},
+		{Line: 2, Label: "s03/size", Count: 5},
+		{Line: 3, Label: "s01/lock", LockLine: true, Count: 7},
+		{Line: 4, Label: "seq", Count: 7},
+		{Line: 5, Count: 2},
+	}}
+	got := p.HeatByPrefix()
+	want := []obs.PrefixHeat{
+		{Prefix: "s03", Count: 15, LockCount: 10},
+		{Prefix: "s01", Count: 7, LockCount: 7},
+		{Prefix: "seq", Count: 7},
+		{Prefix: "", Count: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HeatByPrefix = %+v, want %+v", got, want)
+	}
+	if len((&obs.Profile{}).HeatByPrefix()) != 0 {
+		t.Error("empty profile should produce no groups")
+	}
+}

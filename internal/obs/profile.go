@@ -538,6 +538,57 @@ func (p *Profile) Text() string {
 	return b.String()
 }
 
+// PrefixHeat aggregates conflict aborts by label prefix — the text
+// before the first '/' in a line's label. Construction code that labels
+// each instance of a structure with a distinct prefix (the sharded
+// store's "s03/mcs-tail", "s03/size") gets its conflicts attributed per
+// instance here, the per-shard abort attribution behind hot-shard
+// heatmaps.
+type PrefixHeat struct {
+	// Prefix is the label group: the text before the first '/', the
+	// whole label when it has no '/', or "" for unlabeled data lines.
+	Prefix string `json:"prefix"`
+	// Count is the group's conflict aborts; LockCount is the subset on
+	// lines registered as lock infrastructure.
+	Count     uint64 `json:"count"`
+	LockCount uint64 `json:"lock_count,omitempty"`
+}
+
+// HeatByPrefix groups the conflict heatmap by label prefix, ordered by
+// count descending then prefix ascending (deterministic for equal
+// seeds, like every profile slice).
+func (p *Profile) HeatByPrefix() []PrefixHeat {
+	byPrefix := make(map[string]*PrefixHeat)
+	var order []string
+	for _, l := range p.Lines {
+		prefix := l.Label
+		if i := strings.IndexByte(prefix, '/'); i >= 0 {
+			prefix = prefix[:i]
+		}
+		g, ok := byPrefix[prefix]
+		if !ok {
+			g = &PrefixHeat{Prefix: prefix}
+			byPrefix[prefix] = g
+			order = append(order, prefix)
+		}
+		g.Count += l.Count
+		if l.LockLine {
+			g.LockCount += l.Count
+		}
+	}
+	out := make([]PrefixHeat, 0, len(order))
+	for _, prefix := range order {
+		out = append(out, *byPrefix[prefix])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Prefix < out[j].Prefix
+	})
+	return out
+}
+
 // HeatmapText renders the conflict heatmap section.
 func (p *Profile) HeatmapText() string {
 	if len(p.Lines) == 0 {

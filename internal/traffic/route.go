@@ -1,0 +1,30 @@
+package traffic
+
+import (
+	"hle/internal/core"
+	"hle/internal/harness"
+	"hle/internal/shard"
+	"hle/internal/tsx"
+)
+
+// RoutedStore adapts a shard.Store to the harness: it is the store's
+// core.Scheme surface (Name/Setup/Run/Stats) plus the harness.OpRouter
+// dispatch that sends each keyed operation to its shard's critical
+// section and each scan to the all-shard section. Measuring a traffic
+// Workload under a RoutedStore is what makes the sweep apples-to-apples
+// with the paper's global-lock points: same harness loop, same stats,
+// different synchronization topology.
+type RoutedStore struct {
+	*shard.Store
+}
+
+// Route wraps a bound store for the harness.
+func Route(s *shard.Store) RoutedStore { return RoutedStore{Store: s} }
+
+// RunOp implements harness.OpRouter.
+func (r RoutedStore) RunOp(t *tsx.Thread, op harness.Op, cs func()) core.Result {
+	if op.Kind == harness.OpScan {
+		return r.RunGlobal(t, cs)
+	}
+	return r.RunKeyed(t, op.Key, cs)
+}

@@ -1,0 +1,313 @@
+// Package traffic generates seed-deterministic "internet-shaped" workloads
+// for the sharded store: Zipfian key popularity (a tunable exponent s),
+// scheduled hot-key storms (a rotating hot set, chaos-style), read/write
+// mix sweeps, diurnal load ramps, and multi-tenant interference (two
+// tenant key-spaces with different mixes sharing the same shards).
+//
+// A traffic Workload is an ordinary harness Op-based workload: its Go-side
+// state is immutable after Populate, every random draw comes from the
+// simulated thread's own RNG, and scheduled behavior (storm epochs, ramp
+// phases) is a pure function of the thread's virtual clock — so it
+// composes with the allocation-free measurement loop, WarmTemplate
+// checkpoint forks, byte-identical -parallel execution, and obs profiling
+// exactly like the paper's uniform workloads do.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"hle/internal/harness"
+	"hle/internal/shard"
+	"hle/internal/tsx"
+)
+
+// Storm schedules hot-key storms: every EpochCycles of virtual time the
+// hot set rotates to a different group of keys, and each drawn operation
+// targets the current hot set with probability HotPct%. This models flash
+// crowds — a celebrity post, a viral item — where a handful of keys
+// suddenly absorb most of the traffic, then the spotlight moves on.
+type Storm struct {
+	// EpochCycles is the rotation period (default 100_000).
+	EpochCycles uint64
+	// HotKeys is the hot-set size (default 4). Smaller is meaner: the
+	// whole storm lands on fewer shards.
+	HotKeys int
+	// HotPct is the percentage of operations directed at the hot set
+	// (default 50).
+	HotPct int
+}
+
+func (s Storm) withDefaults() Storm {
+	if s.EpochCycles == 0 {
+		s.EpochCycles = 100_000
+	}
+	if s.HotKeys == 0 {
+		s.HotKeys = 4
+	}
+	if s.HotPct == 0 {
+		s.HotPct = 50
+	}
+	return s
+}
+
+// Ramp models the diurnal load cycle: offered load falls from peak to
+// trough and back over PeriodCycles, implemented as per-operation think
+// time (outside any critical section) that grows toward the trough. Peak
+// is at phase 0 — think time 0, the harness's full offered load.
+type Ramp struct {
+	// PeriodCycles is the full cycle period (default 200_000).
+	PeriodCycles uint64
+	// TroughThink is the per-op think time in cycles at the trough
+	// (default 400, several times a short critical section).
+	TroughThink uint64
+}
+
+func (r Ramp) withDefaults() Ramp {
+	if r.PeriodCycles == 0 {
+		r.PeriodCycles = 200_000
+	}
+	if r.TroughThink == 0 {
+		r.TroughThink = 400
+	}
+	return r
+}
+
+// Spec describes one traffic pattern.
+type Spec struct {
+	// Keys is the initial live-key count (default 1024); keys are drawn
+	// from a domain of 2*Keys, matching the paper's methodology.
+	Keys int
+	// Mix is the operation mix (default the paper's moderate 10/10/80).
+	Mix harness.Mix
+	// ZipfS is the Zipf popularity exponent: operation keys are drawn
+	// with P(rank r) ∝ 1/(r+1)^ZipfS over a seed-fixed rank→key
+	// permutation. 0 means uniform.
+	ZipfS float64
+	// ScanPct is the percentage of operations that are cross-shard scans
+	// (consistent TotalSize under every shard lock). Default 0.
+	ScanPct int
+	// Storm, when non-nil, schedules rotating hot-key storms.
+	Storm *Storm
+	// Ramp, when non-nil, applies the diurnal load ramp.
+	Ramp *Ramp
+	// TenantMix, when non-nil, enables two-tenant interference: threads
+	// with even IDs are tenant A (Mix, lower half of the key domain),
+	// odd IDs are tenant B (TenantMix, upper half). Both tenants' keys
+	// hash into the same shards, so a write-heavy tenant degrades its
+	// neighbor exactly as shared infrastructure does.
+	TenantMix *harness.Mix
+	// Seed fixes the rank→key permutations and the storm schedule
+	// (default 1). It is deliberately separate from the machine seed:
+	// the pattern is part of the workload's identity, while the machine
+	// seed varies per experiment point.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Keys == 0 {
+		s.Keys = 1024
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Storm != nil {
+		st := s.Storm.withDefaults()
+		s.Storm = &st
+	}
+	if s.Ramp != nil {
+		rp := s.Ramp.withDefaults()
+		s.Ramp = &rp
+	}
+	return s
+}
+
+// String names the pattern compactly for reports.
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "keys=%d,mix=%s", s.Keys, s.Mix)
+	if s.ZipfS > 0 {
+		fmt.Fprintf(&b, ",zipf=%.2f", s.ZipfS)
+	}
+	if s.ScanPct > 0 {
+		fmt.Fprintf(&b, ",scan=%d%%", s.ScanPct)
+	}
+	if s.Storm != nil {
+		fmt.Fprintf(&b, ",storm=%d@%d", s.Storm.HotKeys, s.Storm.EpochCycles)
+	}
+	if s.Ramp != nil {
+		fmt.Fprintf(&b, ",ramp=%d", s.Ramp.PeriodCycles)
+	}
+	if s.TenantMix != nil {
+		fmt.Fprintf(&b, ",tenantB=%s", *s.TenantMix)
+	}
+	return b.String()
+}
+
+// Workload drives a shard.Data with the traffic pattern. It implements
+// harness.Workload; run it under a routing scheme (RoutedStore) so each
+// operation synchronizes on its key's shard.
+type Workload struct {
+	spec   Spec
+	data   *shard.Data
+	domain int
+	// perm is the rank→key permutation; tenants use their half-domain
+	// slices permA (keys < domain/2) and permB (keys >= domain/2).
+	perm, permA, permB []uint64
+	// cum and cumHalf are cumulative Zipf weights over the full and
+	// half domain (nil when ZipfS == 0).
+	cum, cumHalf []float64
+}
+
+// New builds the workload and its backing shard.Data on t's machine.
+// Populate must still be called (once, single-threaded) before
+// measurement, as with every harness workload.
+func New(t *tsx.Thread, dcfg shard.DataConfig, spec Spec) *Workload {
+	return Over(shard.NewData(t, dcfg), spec)
+}
+
+// Over builds the workload over an existing shard.Data.
+func Over(d *shard.Data, spec Spec) *Workload {
+	spec = spec.withDefaults()
+	w := &Workload{spec: spec, data: d, domain: 2 * spec.Keys}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	w.perm = randPerm(rng, 0, w.domain)
+	if spec.TenantMix != nil {
+		w.permA = randPerm(rng, 0, w.domain/2)
+		w.permB = randPerm(rng, w.domain/2, w.domain)
+	}
+	if spec.ZipfS > 0 {
+		w.cum = zipfCum(w.domain, spec.ZipfS)
+		if spec.TenantMix != nil {
+			w.cumHalf = zipfCum(w.domain/2, spec.ZipfS)
+		}
+	}
+	return w
+}
+
+// randPerm returns a shuffled permutation of [lo, hi).
+func randPerm(rng *rand.Rand, lo, hi int) []uint64 {
+	p := make([]uint64, hi-lo)
+	for i := range p {
+		p[i] = uint64(lo + i)
+	}
+	rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// zipfCum precomputes cumulative weights for P(rank r) ∝ 1/(r+1)^s.
+func zipfCum(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cum[r] = total
+	}
+	return cum
+}
+
+// Spec returns the pattern (with defaults applied).
+func (w *Workload) Spec() Spec { return w.spec }
+
+// Data returns the backing sharded structure.
+func (w *Workload) Data() *shard.Data { return w.data }
+
+// Domain returns the key-domain size (2*Keys).
+func (w *Workload) Domain() int { return w.domain }
+
+// Name implements harness.Workload.
+func (w *Workload) Name() string {
+	return fmt.Sprintf("traffic(%s,%s%d)", w.spec, w.data.Config().Backend, w.data.Shards())
+}
+
+// Populate implements harness.Workload: it fills the store to Keys live
+// keys, uniform over the domain.
+func (w *Workload) Populate(t *tsx.Thread) {
+	w.data.Populate(t, w.spec.Keys, w.domain)
+}
+
+// tenant returns the thread's rank→key permutation, Zipf table, and mix.
+func (w *Workload) tenant(t *tsx.Thread) (perm []uint64, cum []float64, mix harness.Mix) {
+	if w.spec.TenantMix == nil || t.ID%2 == 0 {
+		if w.spec.TenantMix != nil {
+			return w.permA, w.cumHalf, w.spec.Mix
+		}
+		return w.perm, w.cum, w.spec.Mix
+	}
+	return w.permB, w.cumHalf, *w.spec.TenantMix
+}
+
+// drawRank samples a popularity rank: Zipf-weighted when the spec has an
+// exponent, uniform otherwise.
+func drawRank(t *tsx.Thread, n int, cum []float64) int {
+	if cum == nil {
+		return t.Rand().Intn(n)
+	}
+	u := t.Rand().Float64() * cum[n-1]
+	return sort.SearchFloat64s(cum[:n], u)
+}
+
+// hotKey returns the i-th key of the clock's storm hot set within perm.
+// The set is a pseudorandom window of the permutation re-derived every
+// epoch, so consecutive epochs light up unrelated keys (and so,
+// typically, different shards).
+func (w *Workload) hotKey(perm []uint64, epoch uint64, i int) uint64 {
+	z := epoch*0x9e3779b97f4a7c15 + uint64(w.spec.Seed)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	return perm[(z+uint64(i))%uint64(len(perm))]
+}
+
+// NextOp implements harness.Workload. Every draw comes from the thread's
+// deterministic RNG; storms and ramps are functions of the thread's
+// virtual clock.
+func (w *Workload) NextOp(t *tsx.Thread) harness.Op {
+	if rp := w.spec.Ramp; rp != nil {
+		// Triangle wave: full load at phase 0, TroughThink of idle time
+		// per op half a period later.
+		phase := t.Clock() % rp.PeriodCycles
+		frac := 1 - math.Abs(2*float64(phase)/float64(rp.PeriodCycles)-1)
+		if think := uint64(frac * float64(rp.TroughThink)); think > 0 {
+			t.Work(think)
+		}
+	}
+	r := t.Rand()
+	if w.spec.ScanPct > 0 && r.Intn(100) < w.spec.ScanPct {
+		return harness.Op{Kind: harness.OpScan}
+	}
+	perm, cum, mix := w.tenant(t)
+	var key uint64
+	if st := w.spec.Storm; st != nil && r.Intn(100) < st.HotPct {
+		key = w.hotKey(perm, t.Clock()/st.EpochCycles, r.Intn(st.HotKeys))
+	} else {
+		key = perm[drawRank(t, len(perm), cum)]
+	}
+	p := r.Intn(100)
+	switch {
+	case p < mix.InsertPct:
+		return harness.Op{Kind: harness.OpInsert, Key: key}
+	case p < mix.InsertPct+mix.DeletePct:
+		return harness.Op{Kind: harness.OpDelete, Key: key}
+	default:
+		return harness.Op{Kind: harness.OpLookup, Key: key}
+	}
+}
+
+// Exec implements harness.Workload: the raw (unsynchronized) operation
+// body. The surrounding scheme provides the shard critical section.
+func (w *Workload) Exec(t *tsx.Thread, op harness.Op) {
+	switch op.Kind {
+	case harness.OpInsert:
+		w.data.Insert(t, op.Key, 1)
+	case harness.OpDelete:
+		w.data.Delete(t, op.Key)
+	case harness.OpScan:
+		w.data.TotalSize(t)
+	default:
+		w.data.Contains(t, op.Key)
+	}
+}

@@ -1,0 +1,48 @@
+package tsx
+
+import (
+	"testing"
+
+	"hle/internal/mem"
+)
+
+// TestSetLabelPrefix checks that a construction-time label prefix is
+// prepended to labels registered while it is active, that lock-line
+// registration is unaffected, and that restoring the previous prefix
+// returns to unprefixed labels.
+func TestSetLabelPrefix(t *testing.T) {
+	m := newTestMachine(1, 1)
+	m.RunOne(func(th *Thread) {
+		a := th.AllocLines(1)
+		b := th.AllocLines(1)
+		c := th.AllocLines(1)
+
+		prev := m.SetLabelPrefix("s07/")
+		if prev != "" {
+			t.Fatalf("initial prefix = %q, want empty", prev)
+		}
+		th.LabelLockLines(a, 1, "lock")
+		th.LabelLines(b, 1, "size")
+		if got := m.SetLabelPrefix(prev); got != "s07/" {
+			t.Fatalf("restore returned %q, want %q", got, "s07/")
+		}
+		th.LabelLines(c, 1, "plain")
+
+		la, lb, lc := int(a)>>mem.LineShift, int(b)>>mem.LineShift, int(c)>>mem.LineShift
+		if got := m.LineLabel(la); got != "s07/lock" {
+			t.Errorf("lock label = %q, want %q", got, "s07/lock")
+		}
+		if !m.IsLockLine(la) {
+			t.Error("prefixed lock line lost its lock-line marking")
+		}
+		if got := m.LineLabel(lb); got != "s07/size" {
+			t.Errorf("data label = %q, want %q", got, "s07/size")
+		}
+		if m.IsLockLine(lb) {
+			t.Error("data line marked as lock line")
+		}
+		if got := m.LineLabel(lc); got != "plain" {
+			t.Errorf("post-restore label = %q, want %q", got, "plain")
+		}
+	})
+}

@@ -98,9 +98,27 @@ func (t *Thread) LabelLockLines(a mem.Addr, n int, label string) {
 	t.m.labelLines(a, n, label, true)
 }
 
+// SetLabelPrefix sets a prefix prepended to every label subsequently
+// registered through LabelLines/LabelLockLines, returning the previous
+// prefix so callers can restore it. Construction code that instantiates
+// one structure several times (the sharded store's per-shard locks and
+// trees) brackets each instance's construction with a distinct prefix, so
+// heatmaps attribute hot lines to the instance ("s03/mcs-tail") rather
+// than only the algorithm. The prefix is construction-time state, not
+// part of the machine image: checkpoints and clones copy the registered
+// labels, which are already prefixed.
+func (m *Machine) SetLabelPrefix(prefix string) (prev string) {
+	prev = m.labelPrefix
+	m.labelPrefix = prefix
+	return prev
+}
+
 func (m *Machine) labelLines(a mem.Addr, n int, label string, lock bool) {
 	if n < 1 {
 		n = 1
+	}
+	if m.labelPrefix != "" {
+		label = m.labelPrefix + label
 	}
 	first := mem.LineOf(a)
 	last := mem.LineOf(a + mem.Addr(n-1))

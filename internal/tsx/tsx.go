@@ -188,6 +188,10 @@ type Machine struct {
 	// indices through them. Nil until the first label is registered.
 	lineLabels map[int]string
 	lockLines  map[int]struct{}
+	// labelPrefix is prepended to labels registered while it is set
+	// (SetLabelPrefix); construction-time state only, not part of the
+	// machine image.
+	labelPrefix string
 	// watchdog is the liveness check installed via SetWatchdog.
 	watchdog func(minClock uint64) bool
 	// strategy is the scheduling strategy installed via SetStrategy.

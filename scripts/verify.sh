@@ -37,3 +37,11 @@ go test -count=1 -timeout 300s -run 'FuzzCheckpointFork|TestSoakForkMatchesScrat
 # -explore-guard fails the run if the sweep takes more than twice the
 # quick-tier wall clock recorded in BENCH_explore.json.
 go run ./cmd/hle-bench -explore -quick -parallel 2 -explore-guard BENCH_explore.json > /dev/null
+# Sharded store and traffic generator under the race detector: per-point
+# store construction (Bind after a checkpoint fork) and the workload's
+# Go-side tables are shared across host workers by the parallel runner.
+go test -race -count=1 -timeout 300s ./internal/shard ./internal/traffic
+# Sharded sweep, quick tier: regenerates the ext-shard figure through the
+# CLI, checks the wall clock against the quick-tier record in
+# BENCH_shard.json (>2x fails), and leaves the tables out of the way.
+go run ./cmd/hle-bench -shard-bench /tmp/shard-bench.json -quick -shard-guard BENCH_shard.json > /dev/null

@@ -1,0 +1,140 @@
+package hle_test
+
+import (
+	"testing"
+
+	"hle"
+)
+
+// TestShardedBasics drives the sharded store's full public surface on one
+// thread: routing, Get/Put/Delete semantics (Put updates an existing
+// key's value in place), and the consistent cross-shard Size.
+func TestShardedBasics(t *testing.T) {
+	sys := hle.NewSystem(1, hle.WithSeed(5), hle.WithMemory(1<<17))
+	var s *hle.ShardedStore
+	sys.Init(func(th *hle.Thread) {
+		s = hle.Sharded(th, 8)
+	})
+	sys.Parallel(1, func(th *hle.Thread) {
+		s.Setup(th)
+		if s.Shards() != 8 {
+			t.Errorf("Shards() = %d, want 8", s.Shards())
+		}
+		for k := uint64(0); k < 100; k++ {
+			if !s.Put(th, k, k*10) {
+				t.Fatalf("Put(%d) reported key present in empty store", k)
+			}
+		}
+		if n := s.Size(th); n != 100 {
+			t.Fatalf("Size = %d, want 100", n)
+		}
+		if v, ok := s.Get(th, 42); !ok || v != 420 {
+			t.Fatalf("Get(42) = %d,%v, want 420,true", v, ok)
+		}
+		if s.Put(th, 42, 7) {
+			t.Fatal("Put on existing key reported insertion")
+		}
+		if v, _ := s.Get(th, 42); v != 7 {
+			t.Fatalf("Put did not update in place: Get(42) = %d, want 7", v)
+		}
+		if !s.Delete(th, 42) || s.Delete(th, 42) {
+			t.Fatal("Delete semantics wrong on present/absent key")
+		}
+		if _, ok := s.Get(th, 42); ok {
+			t.Fatal("Get found a deleted key")
+		}
+		if n := s.Size(th); n != 99 {
+			t.Fatalf("Size = %d after delete, want 99", n)
+		}
+	})
+	if ops := s.TotalStats().Ops; ops == 0 {
+		t.Error("TotalStats counted no operations")
+	}
+}
+
+// TestShardedOptions exercises the option surface: hash-table backend,
+// identity routing hash, custom stripes, a custom lock, and per-shard
+// adaptive schemes via both the name and the constructor option.
+func TestShardedOptions(t *testing.T) {
+	sys := hle.NewSystem(2, hle.WithSeed(6), hle.WithMemory(1<<18))
+	var byName, byMk *hle.ShardedStore
+	sys.Init(func(th *hle.Thread) {
+		byName = hle.Sharded(th, 4,
+			hle.WithShardHashTable(32),
+			hle.WithShardHash(func(k uint64) uint64 { return k }),
+			hle.WithShardStripes(4),
+			hle.WithShardSchemeName("Adaptive"),
+		)
+		byMk = hle.Sharded(th, 4,
+			hle.WithShardLock(func(t *hle.Thread) hle.Lock { return hle.NewTTASLock(t) }),
+			hle.WithShardScheme(func(t *hle.Thread, main hle.Lock, si int) hle.Scheme {
+				return hle.Elide(main, hle.WithSCM(hle.NewMCSLock(t)))
+			}),
+		)
+	})
+	for k := uint64(0); k < 16; k++ {
+		if got, want := byName.ShardOf(k), int(k%4); got != want {
+			t.Fatalf("identity hash: key %d routed to shard %d, want %d", k, got, want)
+		}
+	}
+	sys.Parallel(2, func(th *hle.Thread) {
+		byName.Setup(th)
+		byMk.Setup(th)
+		for i := 0; i < 200; i++ {
+			key := uint64(th.ID*1000 + i)
+			byName.Put(th, key, key)
+			byMk.Put(th, key, key)
+		}
+	})
+	sys.Init(func(th *hle.Thread) {
+		if n := byName.Size(th); n != 400 {
+			t.Errorf("byName Size = %d, want 400", n)
+		}
+		if n := byMk.Size(th); n != 400 {
+			t.Errorf("byMk Size = %d, want 400", n)
+		}
+	})
+}
+
+// TestShardedUnknownSchemePanics: a bad scheme name is a programming
+// error and fails at option construction.
+func TestShardedUnknownSchemePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown scheme name")
+		}
+	}()
+	hle.WithShardSchemeName("nope")
+}
+
+// TestShardedConcurrent runs 4 threads over disjoint key ranges and
+// checks nothing is lost: sharded elision must preserve every insert.
+func TestShardedConcurrent(t *testing.T) {
+	sys := hle.NewSystem(4, hle.WithSeed(7), hle.WithMemory(1<<18))
+	var s *hle.ShardedStore
+	sys.Init(func(th *hle.Thread) {
+		s = hle.Sharded(th, 8, hle.WithShardSchemeName("HLE-SCM"))
+	})
+	const perThread = 300
+	sys.Parallel(4, func(th *hle.Thread) {
+		s.Setup(th)
+		base := uint64(th.ID) * perThread
+		for i := uint64(0); i < perThread; i++ {
+			if !s.Put(th, base+i, base+i) {
+				t.Errorf("thread %d: Put(%d) saw existing key", th.ID, base+i)
+				return
+			}
+		}
+	})
+	sys.Init(func(th *hle.Thread) {
+		if n := s.Size(th); n != 4*perThread {
+			t.Errorf("Size = %d, want %d", n, 4*perThread)
+		}
+		for k := uint64(0); k < 4*perThread; k++ {
+			if v, ok := s.Get(th, k); !ok || v != k {
+				t.Errorf("Get(%d) = %d,%v after concurrent fill", k, v, ok)
+				return
+			}
+		}
+	})
+}
