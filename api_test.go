@@ -2,96 +2,52 @@ package hle_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"hle"
 )
 
-// runCounter drives one counter workload under the scheme mk builds and
-// returns its operation statistics; identical seeds and schemes must give
-// identical stats.
-func runCounter(seed int64, mk func(t *hle.Thread) hle.Scheme) (string, hle.OpStats) {
-	sys := hle.NewSystem(4, hle.WithSeed(seed))
-	var counter hle.Addr
-	var scheme hle.Scheme
-	sys.Init(func(th *hle.Thread) {
-		counter = th.AllocLines(1)
-		scheme = mk(th)
-	})
-	sys.Parallel(4, func(th *hle.Thread) {
-		scheme.Setup(th)
-		for i := 0; i < 150; i++ {
-			scheme.Run(th, func() {
-				v := th.Load(counter)
-				th.Work(2)
-				th.Store(counter, v+1)
-			})
-		}
-	})
-	return scheme.Name(), scheme.TotalStats()
-}
-
-// TestDeprecatedConstructorsEquivalent: every deprecated constructor and
-// its option-based replacement build schemes that run identically — same
-// name, same statistics on the same seeded machine.
-func TestDeprecatedConstructorsEquivalent(t *testing.T) {
-	aux := func(th *hle.Thread) hle.Lock { return hle.NewMCSLock(th) }
-	pairs := []struct {
-		name     string
-		old, new func(th *hle.Thread) hle.Scheme
-	}{
-		{"ElideWithSCM",
-			func(th *hle.Thread) hle.Scheme { return hle.ElideWithSCM(hle.NewTTASLock(th), aux(th)) },
-			func(th *hle.Thread) hle.Scheme { return hle.Elide(hle.NewTTASLock(th), hle.WithSCM(aux(th))) }},
-		{"ElideWithSCMConfig",
-			func(th *hle.Thread) hle.Scheme {
-				return hle.ElideWithSCMConfig(hle.NewMCSLock(th), aux(th), hle.SCMConfig{MaxRetries: 3})
-			},
-			func(th *hle.Thread) hle.Scheme {
-				return hle.Elide(hle.NewMCSLock(th), hle.WithSCM(aux(th)),
-					hle.WithSCMTuning(hle.SCMConfig{MaxRetries: 3}))
-			}},
-		{"LockRemoval",
-			func(th *hle.Thread) hle.Scheme { return hle.LockRemoval(hle.NewTTASLock(th), 5) },
-			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th), hle.MaxAttempts(5)) }},
-		{"LockRemoval-default",
-			func(th *hle.Thread) hle.Scheme { return hle.LockRemoval(hle.NewTTASLock(th), 0) },
-			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th)) }},
-		{"PessimisticLockRemoval",
-			func(th *hle.Thread) hle.Scheme { return hle.PessimisticLockRemoval(hle.NewTTASLock(th)) },
-			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th), hle.Pessimistic()) }},
-		{"LockRemovalWithSCM",
-			func(th *hle.Thread) hle.Scheme { return hle.LockRemovalWithSCM(hle.NewTTASLock(th), aux(th)) },
-			func(th *hle.Thread) hle.Scheme { return hle.Removal(hle.NewTTASLock(th), hle.WithSCM(aux(th))) }},
-	}
-	for _, p := range pairs {
-		p := p
-		t.Run(p.name, func(t *testing.T) {
-			oldName, oldStats := runCounter(17, p.old)
-			newName, newStats := runCounter(17, p.new)
-			if oldName != newName {
-				t.Fatalf("names differ: %q (deprecated) vs %q (options)", oldName, newName)
-			}
-			if oldStats != newStats {
-				t.Fatalf("stats differ:\n  deprecated %+v\n  options    %+v", oldStats, newStats)
-			}
-		})
-	}
-}
-
-// TestOptionMisusePanics: inapplicable option combinations are programming
-// errors and fail loudly at construction.
+// TestOptionMisusePanics: options passed to constructors that do not
+// accept them — whether from another family in the shared Option
+// namespace or as a contradictory combination within one constructor —
+// are programming errors and fail loudly at construction.
 func TestOptionMisusePanics(t *testing.T) {
 	cases := []struct {
 		name  string
 		build func(th *hle.Thread)
 	}{
+		// Scheme options into the wrong scheme constructor.
 		{"Elide+Pessimistic", func(th *hle.Thread) {
 			hle.Elide(hle.NewTTASLock(th), hle.Pessimistic())
 		}},
 		{"Elide+MaxAttempts", func(th *hle.Thread) {
 			hle.Elide(hle.NewTTASLock(th), hle.MaxAttempts(3))
 		}},
+		{"Elide+AdaptiveTuning", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.WithAdaptiveTuning(hle.AdaptiveConfig{}))
+		}},
+		// Cross-family misuse: the shared namespace compiles these, the
+		// constructor rejects them by name.
+		{"NewSystem+WithSCM", func(th *hle.Thread) {
+			hle.NewSystem(2, hle.WithSCM(hle.NewMCSLock(th)))
+		}},
+		{"Elide+WithSeed", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.WithSeed(7))
+		}},
+		{"Elide+WithPlacement", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.WithPlacement(hle.Padded))
+		}},
+		{"Sharded+WithSCM", func(th *hle.Thread) {
+			hle.Sharded(th, 4, hle.WithSCM(hle.NewMCSLock(th)))
+		}},
+		{"NewSystem+WithShardStripes", func(th *hle.Thread) {
+			hle.NewSystem(2, hle.WithShardStripes(4))
+		}},
+		{"ZeroOption", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.Option{})
+		}},
+		// Contradictory combinations within one constructor.
 		{"TuningWithoutSCM", func(th *hle.Thread) {
 			hle.Elide(hle.NewTTASLock(th), hle.WithSCMTuning(hle.SCMConfig{MaxRetries: 3}))
 		}},
@@ -100,6 +56,19 @@ func TestOptionMisusePanics(t *testing.T) {
 		}},
 		{"Pessimistic+ManyAttempts", func(th *hle.Thread) {
 			hle.Removal(hle.NewTTASLock(th), hle.Pessimistic(), hle.MaxAttempts(5))
+		}},
+		{"Sharded+TwoSchemeSelectors", func(th *hle.Thread) {
+			hle.Sharded(th, 4,
+				hle.WithShardSchemeName("HLE"),
+				hle.WithShardScheme(func(t *hle.Thread, main hle.Lock, si int) hle.Scheme {
+					return hle.Standard(main)
+				}))
+		}},
+		{"Sharded+ZeroShards", func(th *hle.Thread) {
+			hle.Sharded(th, 0)
+		}},
+		{"WithPlacement+Unknown", func(th *hle.Thread) {
+			hle.WithPlacement(hle.Placement(42))
 		}},
 	}
 	for _, c := range cases {
@@ -114,6 +83,30 @@ func TestOptionMisusePanics(t *testing.T) {
 			sys.Init(c.build)
 		})
 	}
+}
+
+// TestMisusePanicNamesConstructors: the misuse panic must tell the user
+// which constructors do accept the option, so the fix is in the message.
+func TestMisusePanicNamesConstructors(t *testing.T) {
+	sys := hle.NewSystem(1, hle.WithSeed(1))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected construction panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"NewSystem", "WithSCM", "Elide/Removal/Adaptive"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not mention %q", msg, want)
+			}
+		}
+	}()
+	sys.Init(func(th *hle.Thread) {
+		hle.NewSystem(2, hle.WithSCM(hle.NewMCSLock(th)))
+	})
 }
 
 // profiledContention runs a contended counter on a profiling system and

@@ -9,12 +9,19 @@
 //	hle-bench -fig 3.1 -profile json -profile-out profiles.json
 //	hle-bench -explore [-quick] [-parallel 4]
 //	hle-bench -shard-bench shard.json [-quick] [-shard-guard BENCH_shard.json]
+//	hle-bench -place-bench place.json [-quick] [-place-guard BENCH_place.json]
 //
 // -shard-bench runs the sharded-store sweep (figure ext-shard) and writes
 // its benchmark record — every point's throughput, the two regimes, the
 // skew crossover, and the wall clock — to the given file; -shard-guard
 // compares the wall clock against the quick-tier time recorded in
 // BENCH_shard.json and fails on a >2x regression.
+//
+// -place-bench runs the allocator-placement sweep (figure ext-place) and
+// writes its benchmark record — every (workload, policy, scheme) point,
+// the auto-pad trajectory (plan lines, packed vs auto-pad data-conflict
+// aborts), and the wall clock — to the given file; -place-guard is the
+// matching >2x wall-clock gate against BENCH_place.json.
 //
 // -explore replaces figure generation with the bounded model-checking
 // sweep (internal/explore): every scheme crossed with every sweep lock,
@@ -91,6 +98,8 @@ func main() {
 		guard      = flag.String("explore-guard", "", "explore: fail if the sweep runs over 2x the quick-tier wall clock recorded in this BENCH_explore.json")
 		shardBench = flag.String("shard-bench", "", "run the sharded-store sweep (ext-shard) and write its benchmark record (points, regimes, crossover, wall clock) to this JSON file")
 		shardGuard = flag.String("shard-guard", "", "with -shard-bench: fail if the sweep runs over 2x the quick-tier wall clock recorded in this BENCH_shard.json")
+		placeBench = flag.String("place-bench", "", "run the placement-policy sweep (ext-place) and write its benchmark record (points, auto-pad trajectory, wall clock) to this JSON file")
+		placeGuard = flag.String("place-guard", "", "with -place-bench: fail if the sweep runs over 2x the quick-tier wall clock recorded in this BENCH_place.json")
 		profile    = flag.String("profile", "", "collect per-point abort-attribution profiles: json or text")
 		profileOut = flag.String("profile-out", "", "write -profile output to this file instead of stdout")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -219,6 +228,19 @@ func main() {
 		}
 		if *shardGuard != "" {
 			guardShardTime(*shardGuard, bench.Seconds)
+		}
+	case *placeBench != "":
+		curFig = "ext-place"
+		start := time.Now()
+		bench, tables := figures.PlaceSweep(opts)
+		bench.Seconds = time.Since(start).Seconds()
+		printTables(tables, *csv)
+		if err := os.WriteFile(*placeBench, bench.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hle-bench: writing place bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *placeGuard != "" {
+			guardPlaceTime(*placeGuard, bench.Seconds)
 		}
 	case *all:
 		for _, f := range figures.All() {
@@ -515,6 +537,37 @@ func guardShardTime(file string, measured float64) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "shard-guard: %.1fs within 2x of recorded %.1fs\n", measured, recorded)
+}
+
+// guardPlaceTime is the placement sweep's CI wall-clock gate, mirroring
+// guardShardTime: the measured quick sweep must stay within 2x the
+// quick-tier time recorded in BENCH_place.json.
+func guardPlaceTime(file string, measured float64) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hle-bench: -place-guard: %v\n", err)
+		os.Exit(1)
+	}
+	var bench struct {
+		Recorded struct {
+			Quick figures.PlaceBench `json:"quick"`
+		} `json:"recorded"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		fmt.Fprintf(os.Stderr, "hle-bench: -place-guard: %v\n", err)
+		os.Exit(1)
+	}
+	recorded := bench.Recorded.Quick.Seconds
+	if recorded <= 0 {
+		fmt.Fprintf(os.Stderr, "hle-bench: -place-guard: %s records no quick-tier wall clock\n", file)
+		os.Exit(1)
+	}
+	if measured > 2*recorded {
+		fmt.Fprintf(os.Stderr, "hle-bench: -place-guard: sweep took %.1fs, over 2x the recorded %.1fs — placement-sweep performance regressed\n",
+			measured, recorded)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "place-guard: %.1fs within 2x of recorded %.1fs\n", measured, recorded)
 }
 
 func printTables(tables []*stats.Table, csv bool) {

@@ -41,15 +41,34 @@
 // re-executes them; they must touch shared state only through the
 // simulated-memory operations on Thread, which are rolled back exactly.
 //
-// Scheme constructors take functional options: Elide(lock) is plain HLE,
-// Elide(lock, WithSCM(aux)) adds the paper's conflict management, and
-// Removal(lock, ...) selects software lock removal with Pessimistic or
-// MaxAttempts tuning. NewSystem options control the machine: WithSeed,
-// WithProfiling (abort attribution, see Profile), WithFaultInjection
-// (chaos engines), WithHardwareExtension (Chapter 7).
+// # Options
+//
+// Every constructor takes functional options from one shared Option
+// namespace; each option documents which constructors accept it, and a
+// constructor given an option it does not accept panics with a message
+// naming the constructors that do — a misconfigured system is a
+// programming error, not a runtime condition. The families:
+//
+//   - machine options (NewSystem): WithSeed, WithMemory, WithPlacement,
+//     WithProfiling (abort attribution, see Profile), WithFaultInjection
+//     (chaos engines), WithHardwareExtension (Chapter 7),
+//     WithNestedElision, WithConfig;
+//   - scheme options (Elide / Removal / Adaptive): WithSCM,
+//     WithSCMTuning, Pessimistic, MaxAttempts, WithAdaptiveTuning;
+//   - sharded-store options (Sharded): WithShardHashTable, WithShardHash,
+//     WithShardStripes, WithShardLock, WithShardScheme,
+//     WithShardSchemeName, and WithPlacement again (one option, two
+//     accepting constructors).
+//
+// So Elide(lock) is plain HLE, Elide(lock, WithSCM(aux)) adds the paper's
+// conflict management, Removal(lock, Pessimistic()) is Pes-SLR, and
+// NewSystem(8, WithPlacement(Arena)) gives every thread a private
+// allocation arena.
 package hle
 
 import (
+	"fmt"
+
 	"hle/internal/adapt"
 	"hle/internal/chaos"
 	"hle/internal/core"
@@ -82,6 +101,26 @@ type (
 	// MachineConfig exposes the full simulated-machine configuration
 	// for advanced use.
 	MachineConfig = tsx.Config
+	// Placement selects where the allocator puts fresh word-granular
+	// allocations relative to cache lines (see WithPlacement).
+	Placement = mem.Placement
+	// MemoryLayout is the full allocator layout configuration —
+	// placement policy plus its knobs (color count, chunk size, auto-pad
+	// plan) — settable wholesale via
+	// WithConfig(func(c *MachineConfig) { c.Layout = ... }).
+	MemoryLayout = mem.Layout
+)
+
+// The placement policies (see WithPlacement). Packed tightly bump-packs
+// objects (the baseline, where small objects share cache lines); Padded
+// pads every object to private whole lines; Colored spreads consecutive
+// allocations across cache-index colors; Arena gives each allocating
+// thread a private arena.
+const (
+	Packed  = mem.Packed
+	Padded  = mem.Padded
+	Colored = mem.Colored
+	Arena   = mem.Arena
 )
 
 // System is a simulated multicore machine with TSX support.
@@ -89,34 +128,134 @@ type System struct {
 	m *tsx.Machine
 }
 
-// SystemOption customizes a System.
-type SystemOption func(*tsx.Config)
+// target is the bitset of constructors an Option applies to.
+type target uint8
+
+const (
+	tSystem target = 1 << iota
+	tElide
+	tRemoval
+	tAdaptive
+	tSharded
+)
+
+// String lists the accepting constructors, for misuse panics.
+func (tg target) String() string {
+	names := []struct {
+		bit  target
+		name string
+	}{
+		{tSystem, "NewSystem"}, {tElide, "Elide"}, {tRemoval, "Removal"},
+		{tAdaptive, "Adaptive"}, {tSharded, "Sharded"},
+	}
+	s := ""
+	for _, n := range names {
+		if tg&n.bit != 0 {
+			if s != "" {
+				s += "/"
+			}
+			s += n.name
+		}
+	}
+	if s == "" {
+		return "no constructor"
+	}
+	return s
+}
+
+// Option configures one of the package's constructors. All options share
+// this one type, so any option can be passed anywhere the compiler is
+// concerned — which constructors actually accept it is part of each
+// option's contract, documented on its constructor and enforced at
+// construction time: a constructor given an inapplicable option panics
+// with a message naming the constructors that do accept it.
+type Option struct {
+	name    string
+	targets target
+	sys     func(*tsx.Config)
+	sch     func(*schemeCfg)
+	shd     func(*shardCfg)
+}
+
+// SystemOption and ShardOption are the conventional names for options in
+// NewSystem and Sharded signatures. They are aliases of Option — the
+// namespace is shared; acceptance is checked per constructor.
+type (
+	SystemOption = Option
+	ShardOption  = Option
+)
+
+// use validates that the option applies to the invoking constructor.
+func (o Option) use(constructor string, bit target) {
+	name := o.name
+	if name == "" {
+		name = "a zero Option value"
+	}
+	if o.targets&bit == 0 {
+		panic(fmt.Sprintf("hle: %s: option %s applies to %s, not %s",
+			constructor, name, o.targets, constructor))
+	}
+}
+
+func sysOption(name string, fn func(*tsx.Config)) Option {
+	return Option{name: name, targets: tSystem, sys: fn}
+}
+
+func schemeOption(name string, targets target, fn func(*schemeCfg)) Option {
+	return Option{name: name, targets: targets, sch: fn}
+}
 
 // WithSeed fixes the random seed; equal seeds give bit-identical runs.
+// Applies to NewSystem.
 func WithSeed(seed int64) SystemOption {
-	return func(c *tsx.Config) { c.Seed = seed }
+	return sysOption("WithSeed", func(c *tsx.Config) { c.Seed = seed })
 }
 
 // WithMemory sets the initial simulated memory size in 64-bit words.
+// Applies to NewSystem.
 func WithMemory(words int) SystemOption {
-	return func(c *tsx.Config) { c.MemWords = words }
+	return sysOption("WithMemory", func(c *tsx.Config) { c.MemWords = words })
+}
+
+// WithPlacement selects the allocator's placement policy — where fresh
+// Thread.Alloc blocks land relative to cache lines (Packed, Padded,
+// Colored, Arena). Placement decides which objects share lines, and
+// therefore which logically-independent critical sections conflict under
+// elision. Applies to NewSystem (machine-wide, carried by checkpoints so
+// forked images keep the policy) and to Sharded (a construction-time
+// bracket: the store's structures are laid out under the policy, which is
+// then restored, so one store can be laid out differently than the rest
+// of the machine).
+func WithPlacement(p Placement) Option {
+	if !p.Valid() {
+		panic(fmt.Sprintf("hle: WithPlacement: unknown placement %d", uint8(p)))
+	}
+	return Option{
+		name:    "WithPlacement",
+		targets: tSystem | tSharded,
+		sys:     func(c *tsx.Config) { c.Layout.Placement = p },
+		shd:     func(c *shardCfg) { c.placement, c.placementSet = p, true },
+	}
 }
 
 // WithHardwareExtension enables the paper's Chapter 7 proposal:
-// lock-line conflicts suspend speculative threads instead of aborting them.
+// lock-line conflicts suspend speculative threads instead of aborting
+// them. Applies to NewSystem.
 func WithHardwareExtension() SystemOption {
-	return func(c *tsx.Config) { c.HWExt = true }
+	return sysOption("WithHardwareExtension", func(c *tsx.Config) { c.HWExt = true })
 }
 
 // WithNestedElision lets XACQUIRE begin an elision inside an RTM
-// transaction (Algorithm 3 verbatim); real Haswell lacks this.
+// transaction (Algorithm 3 verbatim); real Haswell lacks this. Applies to
+// NewSystem.
 func WithNestedElision() SystemOption {
-	return func(c *tsx.Config) { c.NestHLEInRTM = true }
+	return sysOption("WithNestedElision", func(c *tsx.Config) { c.NestHLEInRTM = true })
 }
 
-// WithConfig applies fn to the underlying machine configuration.
+// WithConfig applies fn to the underlying machine configuration. Applies
+// to NewSystem.
 func WithConfig(fn func(*MachineConfig)) SystemOption {
-	return func(c *tsx.Config) { fn(c) }
+	return sysOption("WithConfig", func(c *tsx.Config) { fn(c) })
 }
 
 // WithProfiling attaches an abort-attribution profiler to the system:
@@ -126,15 +265,17 @@ func WithConfig(fn func(*MachineConfig)) SystemOption {
 // a waterfall time series, and attempt latencies are bucketed by outcome.
 // Read the results with System.Profile. Observation is passive and the
 // collector only runs at transaction boundaries, so the simulated
-// schedule is byte-identical with profiling on or off.
+// schedule is byte-identical with profiling on or off. Applies to
+// NewSystem.
 func WithProfiling(opt ProfileOptions) SystemOption {
-	return func(c *tsx.Config) { c.Observer = obs.New(opt) }
+	return sysOption("WithProfiling", func(c *tsx.Config) { c.Observer = obs.New(opt) })
 }
 
 // WithFaultInjection installs a fault injector — typically a chaos
 // Engine — consulted by the simulator's hot paths. See NewChaosEngine.
+// Applies to NewSystem.
 func WithFaultInjection(inj Injector) SystemOption {
-	return func(c *tsx.Config) { c.Injector = inj }
+	return sysOption("WithFaultInjection", func(c *tsx.Config) { c.Injector = inj })
 }
 
 // NewSystem creates a simulated machine with the given number of hardware
@@ -142,7 +283,8 @@ func WithFaultInjection(inj Injector) SystemOption {
 func NewSystem(threads int, opts ...SystemOption) *System {
 	cfg := tsx.DefaultConfig(threads)
 	for _, o := range opts {
-		o(&cfg)
+		o.use("NewSystem", tSystem)
+		o.sys(&cfg)
 	}
 	return &System{m: tsx.NewMachine(cfg)}
 }
@@ -211,56 +353,55 @@ type schemeCfg struct {
 	adaptTuned  bool
 }
 
-// Option configures a scheme constructor (Elide or Removal). Options that
-// do not apply to the chosen constructor panic at construction time — a
-// misconfigured scheme is a programming error, not a runtime condition.
-type Option func(*schemeCfg)
-
 // WithSCM adds software-assisted conflict management (Algorithm 3):
 // aborted threads serialize on aux — which the paper requires to be
 // starvation-free, e.g. an MCS lock — and rejoin the speculative run, so
-// non-conflicting threads keep speculating. Applies to Elide and Removal.
+// non-conflicting threads keep speculating. Applies to Elide, Removal,
+// and Adaptive (where it supplies the SCM rung's auxiliary lock).
 func WithSCM(aux Lock) Option {
-	return func(c *schemeCfg) { c.aux = aux }
+	return schemeOption("WithSCM", tElide|tRemoval|tAdaptive,
+		func(c *schemeCfg) { c.aux = aux })
 }
 
-// WithSCMTuning sets explicit SCM tuning (retry budget etc.). Requires
-// WithSCM.
+// WithSCMTuning sets explicit SCM tuning (retry budget etc.). Applies to
+// Elide, Removal, and Adaptive; requires WithSCM.
 func WithSCMTuning(cfg SCMConfig) Option {
-	return func(c *schemeCfg) { c.scm, c.scmTuned = cfg, true }
+	return schemeOption("WithSCMTuning", tElide|tRemoval|tAdaptive,
+		func(c *schemeCfg) { c.scm, c.scmTuned = cfg, true })
 }
 
 // Pessimistic makes Removal give up speculation after a single failed
 // attempt (the paper's Pes-SLR variant). Applies to Removal only.
 func Pessimistic() Option {
-	return func(c *schemeCfg) { c.pessimistic = true }
+	return schemeOption("Pessimistic", tRemoval,
+		func(c *schemeCfg) { c.pessimistic = true })
 }
 
 // MaxAttempts bounds Removal's speculative retries before it falls back
 // to the lock (0 selects the paper's 10, §5.1). Applies to Removal only.
 func MaxAttempts(n int) Option {
-	return func(c *schemeCfg) { c.maxAttempts = n }
+	return schemeOption("MaxAttempts", tRemoval,
+		func(c *schemeCfg) { c.maxAttempts = n })
 }
 
 // WithAdaptiveTuning sets explicit controller thresholds (windows,
-// hysteresis bands, probation backoff) for Adaptive. Applies to Adaptive
-// only; zero fields keep the adapt defaults.
+// hysteresis bands, probation backoff). Applies to Adaptive only; zero
+// fields keep the adapt defaults.
 func WithAdaptiveTuning(cfg AdaptiveConfig) Option {
-	return func(c *schemeCfg) { c.adapt, c.adaptTuned = cfg, true }
+	return schemeOption("WithAdaptiveTuning", tAdaptive,
+		func(c *schemeCfg) { c.adapt, c.adaptTuned = cfg, true })
 }
 
-// apply folds opts and validates the combination for the named
-// constructor.
-func applyOptions(constructor string, opts []Option) schemeCfg {
+// applyOptions folds opts for the named scheme constructor, panicking on
+// options that do not apply to it and on contradictory combinations.
+func applyOptions(constructor string, bit target, opts []Option) schemeCfg {
 	var c schemeCfg
 	for _, o := range opts {
-		o(&c)
+		o.use(constructor, bit)
+		o.sch(&c)
 	}
 	if c.scmTuned && c.aux == nil {
 		panic("hle: " + constructor + ": WithSCMTuning requires WithSCM")
-	}
-	if c.adaptTuned && constructor != "Adaptive" {
-		panic("hle: " + constructor + ": WithAdaptiveTuning applies to Adaptive only")
 	}
 	return c
 }
@@ -270,10 +411,7 @@ func applyOptions(constructor string, opts []Option) schemeCfg {
 // the paper's software-assisted conflict management; WithSCMTuning sets
 // its knobs.
 func Elide(lock Lock, opts ...Option) Scheme {
-	c := applyOptions("Elide", opts)
-	if c.pessimistic || c.maxAttempts != 0 {
-		panic("hle: Elide: Pessimistic/MaxAttempts apply to Removal only")
-	}
+	c := applyOptions("Elide", tElide, opts)
 	if c.aux != nil {
 		return core.NewHLESCM(lock, c.aux, c.scm)
 	}
@@ -287,7 +425,7 @@ func Elide(lock Lock, opts ...Option) Scheme {
 // after one failure; WithSCM serializes aborted threads on an auxiliary
 // lock instead.
 func Removal(lock Lock, opts ...Option) Scheme {
-	c := applyOptions("Removal", opts)
+	c := applyOptions("Removal", tRemoval, opts)
 	if c.aux != nil {
 		if c.pessimistic || c.maxAttempts != 0 {
 			panic("hle: Removal: WithSCM excludes Pessimistic/MaxAttempts")
@@ -348,10 +486,7 @@ type AdaptiveScheme interface {
 // switches hot-swap: in-flight critical sections finish under the level
 // they started with while new arrivals use the new level.
 func Adaptive(lock Lock, opts ...Option) AdaptiveScheme {
-	c := applyOptions("Adaptive", opts)
-	if c.pessimistic || c.maxAttempts != 0 {
-		panic("hle: Adaptive: Pessimistic/MaxAttempts apply to Removal only")
-	}
+	c := applyOptions("Adaptive", tAdaptive, opts)
 	if c.aux == nil {
 		panic("hle: Adaptive: requires WithSCM(aux) for its conflict-management rung")
 	}

@@ -33,6 +33,25 @@ func Example() {
 	// Output: counter = 8000
 }
 
+// ExampleWithPlacement contrasts the packed baseline, where consecutive
+// small allocations share a cache line (and therefore make
+// logically-independent critical sections conflict under elision), with
+// the padded policy, which gives every object private whole lines.
+func ExampleWithPlacement() {
+	for _, p := range []hle.Placement{hle.Packed, hle.Padded} {
+		sys := hle.NewSystem(2, hle.WithSeed(1), hle.WithPlacement(p))
+		var a, b hle.Addr
+		sys.Init(func(t *hle.Thread) {
+			a = t.Alloc(2)
+			b = t.Alloc(2)
+		})
+		fmt.Printf("%s: a on line %d, b on line %d\n", p, a/8, b/8)
+	}
+	// Output:
+	// packed: a on line 1, b on line 1
+	// padded: a on line 1, b on line 2
+}
+
 // TestEverySchemeEveryLock exercises the full public construction matrix
 // for serializability.
 func TestEverySchemeEveryLock(t *testing.T) {

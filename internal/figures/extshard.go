@@ -287,7 +287,7 @@ func shardHeatmap(profiles []*obs.Profile, mix harness.Mix, skew float64, shards
 		heats[ki] = make(map[string]obs.PrefixHeat)
 		for _, g := range profiles[ki].HeatByPrefix() {
 			heats[ki][g.Prefix] = g
-			if !seen[g.Prefix] && g.Prefix != "" {
+			if !seen[g.Prefix] && g.Prefix != "?" {
 				seen[g.Prefix] = true
 				prefixes = append(prefixes, g.Prefix)
 			}

@@ -153,6 +153,7 @@ func All() []Figure {
 		{"ext-chaos", "Extension: chaos soak — fault injection under watchdogs, serializability-checked", ExtChaos},
 		{"ext-adapt", "Extension: adaptive per-lock controller vs static schemes across contention", ExtAdapt},
 		{"ext-shard", "Extension: sharded elided store under internet-shaped traffic (skew, storms, tenants)", ExtShard},
+		{"ext-place", "Extension: allocator placement policy ablation with heatmap-driven auto-pad", ExtPlace},
 	}
 }
 

@@ -40,8 +40,12 @@ func renderFigure(t *testing.T, id string, o figures.Options) string {
 // sharded-store path: per-point scheme construction over a shared warm
 // Data image (MkScheme after the checkpoint fork), harness op routing,
 // and the heatmap table built from always-attached hot-point profiles.
+// ext-place exercises the placement matrix: per-regime warm templates
+// (including the serially-derived auto-pad template), always-on profiles
+// feeding the attribution tables, and the two-phase STAMP grid whose
+// packed runs seed the auto-pad plans.
 func TestParallelismDoesNotChangeOutput(t *testing.T) {
-	for _, id := range []string{"3.1", "abl-spur", "ext-chaos", "ext-adapt", "ext-shard"} {
+	for _, id := range []string{"3.1", "abl-spur", "ext-chaos", "ext-adapt", "ext-shard", "ext-place"} {
 		o := tinyOpts()
 		o.Parallel = 1
 		seq := renderFigure(t, id, o)

@@ -1,0 +1,172 @@
+package harness_test
+
+import (
+	"slices"
+	"testing"
+
+	"hle/internal/harness"
+	"hle/internal/mem"
+	"hle/internal/obs"
+	"hle/internal/tsx"
+)
+
+// falseShareWorkload is a contrived placement victim: per-thread counters
+// small enough that the packed allocator co-locates several per cache
+// line. Every operation is one elided read-modify-write of the invoking
+// thread's own counter — logically conflict-free, so every conflict abort
+// it suffers is placement-induced false sharing, exactly what auto-pad
+// should remove.
+type falseShareWorkload struct {
+	counters []mem.Addr
+}
+
+func (w *falseShareWorkload) Name() string { return "false-share" }
+
+func (w *falseShareWorkload) Populate(t *tsx.Thread) {
+	w.counters = make([]mem.Addr, 8)
+	for i := range w.counters {
+		w.counters[i] = t.Alloc(2)
+	}
+}
+
+func (w *falseShareWorkload) NextOp(t *tsx.Thread) harness.Op {
+	return harness.Op{Kind: harness.OpInsert, Key: uint64(t.ID)}
+}
+
+func (w *falseShareWorkload) Exec(t *tsx.Thread, op harness.Op) {
+	a := w.counters[int(op.Key)%len(w.counters)]
+	t.Store(a, t.Load(a)+1)
+	t.Store(a+1, uint64(op.Key))
+}
+
+func fsTemplate() *harness.WarmTemplate {
+	cfg := tsx.DefaultConfig(4)
+	cfg.Seed = 21
+	return &harness.WarmTemplate{
+		Machine: cfg,
+		MkWorkload: func(t *tsx.Thread) harness.Workload {
+			return &falseShareWorkload{}
+		},
+	}
+}
+
+func fsMeasure(t *testing.T, wt *harness.WarmTemplate) *obs.Profile {
+	t.Helper()
+	res := harness.PointSpec{
+		Warm:   wt,
+		Scheme: harness.SchemeSpec{Scheme: "HLE", Lock: "TTAS"},
+		Seed:   77,
+		Cfg: harness.Config{
+			Threads:     4,
+			CycleBudget: 60_000,
+			Profile:     &obs.Options{TopLines: -1},
+		},
+	}.Run()
+	if res.Profile == nil {
+		t.Fatal("no profile")
+	}
+	if got, want := res.Profile.CauseSum(), res.Profile.EngineAborts; got != want {
+		t.Fatalf("attribution invariant broken: causes %d, engine %d", got, want)
+	}
+	return res.Profile
+}
+
+// TestAutoPadReducesFalseSharing drives the full profile→layout loop on
+// the contrived victim: the burst must find the counters' shared lines,
+// and the re-laid-out template must suffer fewer conflict-data-line
+// aborts than the packed baseline on the identical measured run.
+func TestAutoPadReducesFalseSharing(t *testing.T) {
+	wt := fsTemplate()
+	base := fsMeasure(t, wt)
+	baseData := base.Cause(obs.ClassConflictDataLine)
+	if baseData == 0 {
+		t.Fatal("test setup: packed baseline shows no false sharing to remove")
+	}
+
+	padded, report := harness.AutoPad(wt, harness.AutoPadConfig{
+		Scheme:  harness.SchemeSpec{Scheme: "HLE", Lock: "TTAS"},
+		Threads: 4,
+		Burst:   20_000,
+		Seed:    5,
+	})
+	if padded == wt {
+		t.Fatal("AutoPad found nothing to pad on the false-sharing victim")
+	}
+	if len(report.PlanLines) == 0 || report.BurstDataConflicts == 0 {
+		t.Fatalf("empty report: %+v", report)
+	}
+	if !slices.IsSorted(report.PlanLines) {
+		t.Fatalf("plan lines not sorted: %v", report.PlanLines)
+	}
+
+	after := fsMeasure(t, padded)
+	afterData := after.Cause(obs.ClassConflictDataLine)
+	if afterData >= baseData {
+		t.Fatalf("auto-pad did not reduce data-line conflicts: packed %d, padded %d",
+			baseData, afterData)
+	}
+	t.Logf("data-line conflict aborts: packed %d → auto-pad %d (plan %v)",
+		baseData, afterData, report.PlanLines)
+}
+
+// TestAutoPadDeterministic: the pass is a pure function of template,
+// config, and seed — two invocations produce identical plans, and the
+// measured run on the re-laid-out template is byte-deterministic.
+func TestAutoPadDeterministic(t *testing.T) {
+	run := func() ([]int, []byte) {
+		wt := fsTemplate()
+		padded, report := harness.AutoPad(wt, harness.AutoPadConfig{
+			Scheme:  harness.SchemeSpec{Scheme: "HLE", Lock: "TTAS"},
+			Threads: 4,
+			Burst:   20_000,
+			Seed:    5,
+		})
+		return report.PlanLines, fsMeasure(t, padded).JSON()
+	}
+	p1, j1 := run()
+	p2, j2 := run()
+	if !slices.Equal(p1, p2) {
+		t.Fatalf("plans diverge: %v vs %v", p1, p2)
+	}
+	if string(j1) != string(j2) {
+		t.Fatal("measured profiles diverge across identical auto-pad passes")
+	}
+}
+
+// TestAutoPadLeavesTemplateUntouched: the input template keeps serving
+// identical packed forks after the pass.
+func TestAutoPadDoesNotMutateTemplate(t *testing.T) {
+	wt := fsTemplate()
+	before := fsMeasure(t, wt).JSON()
+	_, _ = harness.AutoPad(wt, harness.AutoPadConfig{
+		Scheme:  harness.SchemeSpec{Scheme: "HLE", Lock: "TTAS"},
+		Threads: 4,
+		Burst:   20_000,
+	})
+	after := fsMeasure(t, wt).JSON()
+	if string(before) != string(after) {
+		t.Fatal("AutoPad mutated its input template")
+	}
+}
+
+// TestAutoPadGuards: misuse panics.
+func TestAutoPadGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	wt := fsTemplate()
+	mustPanic("zero burst", func() {
+		harness.AutoPad(wt, harness.AutoPadConfig{Threads: 2})
+	})
+	padded := fsTemplate()
+	padded.Machine.Layout.Placement = mem.Padded
+	mustPanic("non-packed template", func() {
+		harness.AutoPad(padded, harness.AutoPadConfig{
+			Scheme: harness.SchemeSpec{Scheme: "HLE", Lock: "TTAS"}, Threads: 2, Burst: 1000})
+	})
+}

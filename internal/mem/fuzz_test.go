@@ -8,25 +8,40 @@ import (
 )
 
 // FuzzSnapshotRestore drives a random allocate/write/free history against
-// a Memory, snapshots it mid-stream, keeps mutating, and then checks the
-// round trip: Restore must erase every post-snapshot effect, and a Memory
-// rebuilt with FromSnapshot must be behaviorally identical to the restored
-// one — same words, same bump pointer, and same allocator decisions when
-// the rest of the history is replayed against both. `go test` runs the
-// seed corpus; `go test -fuzz=FuzzSnapshotRestore ./internal/mem` explores.
+// a Memory under a fuzz-chosen placement policy, snapshots it mid-stream,
+// keeps mutating, and then checks the round trip: Restore must erase every
+// post-snapshot effect, and a Memory rebuilt with FromSnapshot must be
+// behaviorally identical to the restored one — same words, same bump
+// pointer, and same allocator decisions (including chunk cursors, color
+// sequence, and the auto-pad shadow) when the rest of the history is
+// replayed against both. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzSnapshotRestore ./internal/mem` explores.
 func FuzzSnapshotRestore(f *testing.F) {
-	f.Add([]byte{4, 0x10, 0x53, 0x22, 0xb1, 0x07, 0xe0, 0x41, 0x9c})
-	f.Add([]byte{1, 0x00, 0x01, 0x02, 0x03})
-	f.Add([]byte{0, 0xff})
+	f.Add([]byte{0, 4, 0x10, 0x53, 0x22, 0xb1, 0x07, 0xe0, 0x41, 0x9c})
+	f.Add([]byte{1, 1, 0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{2, 0, 0xff})
+	f.Add([]byte{3, 3, 0x40, 0x81, 0x12, 0x07})
+	f.Add([]byte{4, 2, 0x10, 0x53, 0x22, 0xb1})
 	f.Fuzz(func(t *testing.T, ops []byte) {
-		if len(ops) == 0 {
+		if len(ops) < 2 {
 			return
 		}
 		if len(ops) > 1024 {
 			ops = ops[:1024]
 		}
-		split := int(ops[0])
-		ops = ops[1:]
+		// The first byte picks the placement policy (one value past the
+		// real policies selects packed with an auto-pad plan, so the
+		// shadow-cursor path is fuzzed too).
+		layout := mem.Layout{
+			Placement:  mem.Placement(ops[0] % 5 % 4),
+			Colors:     3,
+			ChunkLines: 4,
+		}
+		if ops[0]%5 == 4 {
+			layout.PadLines = map[int]bool{2: true, 5: true}
+		}
+		split := int(ops[1])
+		ops = ops[2:]
 		if split > len(ops) {
 			split = len(ops)
 		}
@@ -40,7 +55,7 @@ func FuzzSnapshotRestore(f *testing.F) {
 			switch b % 4 {
 			case 0:
 				n := 1 + int(b>>4)
-				a := m.Alloc(n)
+				a := m.AllocOwned(int(b>>2)%3, n)
 				m.Write(a, uint64(i)+1)
 				return append(live, block{a, n, false})
 			case 1:
@@ -68,7 +83,7 @@ func FuzzSnapshotRestore(f *testing.F) {
 			}
 		}
 
-		m := mem.New(64)
+		m := mem.NewWithLayout(64, layout)
 		var live []block
 		for i, b := range ops[:split] {
 			live = apply(m, live, b, i)

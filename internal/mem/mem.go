@@ -201,6 +201,15 @@ type Memory struct {
 	maxWords int
 	free     FreeTable
 	owner    map[Addr]allocKind // nil unless DebugChecks was set at New
+
+	// Placement state (see placement.go). All of it is captured by
+	// Snapshot, so a checkpoint-forked memory continues the exact layout
+	// of its image: same policy, same chunk cursors, same color rotation,
+	// same shadow position.
+	layout   Layout
+	cursors  map[int]cursor // per-color / per-arena-owner chunk cursors
+	colorSeq int            // Colored's round-robin color assignment
+	shadow   Addr           // packed-shadow bump cursor (PadLines plans)
 }
 
 // DefaultMaxWords bounds memory growth: 1<<26 words = 512 MB simulated.
@@ -218,6 +227,7 @@ func New(initWords int) *Memory {
 		lines:    make([]LineMeta, initWords/LineWords),
 		next:     LineWords, // keep line 0 (and Addr 0 == Nil) unallocated
 		maxWords: DefaultMaxWords,
+		shadow:   LineWords,
 	}
 	if DebugChecks {
 		m.owner = make(map[Addr]allocKind)
@@ -291,13 +301,20 @@ func (m *Memory) CheckFree(a Addr, n int, lines bool) {
 }
 
 // Alloc allocates n contiguous words and returns the address of the first.
-// Allocations never span more lines than necessary but are only word
-// aligned; use AllocLines when a structure must own whole cache lines.
+// Fresh blocks are positioned by the configured placement policy (the zero
+// Layout packs them: word aligned, never spanning more lines than
+// necessary); use AllocLines when a structure must own whole cache lines
+// under every policy.
 //
 // Reused memory is NOT zeroed here: clearing must go through the TSX
 // engine's store path (tsx.Thread.Alloc does this) so that a recycled line
 // still held in another transaction's read set triggers a proper conflict.
-func (m *Memory) Alloc(n int) Addr {
+func (m *Memory) Alloc(n int) Addr { return m.AllocOwned(0, n) }
+
+// AllocOwned is Alloc with the allocating owner identified — the TSX
+// engine passes the simulated thread ID. Only the Arena placement reads
+// it, to pick the owner's private chunk; every other policy ignores it.
+func (m *Memory) AllocOwned(owner, n int) Addr {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: Alloc(%d)", n))
 	}
@@ -305,17 +322,7 @@ func (m *Memory) Alloc(n int) Addr {
 		m.NoteAlloc(a, n, false)
 		return a
 	}
-	// Avoid straddling a line boundary for small objects: a sub-line
-	// object that would cross a boundary is pushed to the next line.
-	if n <= LineWords {
-		off := int(m.next) % LineWords
-		if off+n > LineWords {
-			m.next += Addr(LineWords - off)
-		}
-	}
-	a := m.next
-	m.grow(int(a) + n)
-	m.next = a + Addr(n)
+	a := m.place(owner, n)
 	m.NoteAlloc(a, n, false)
 	return a
 }
@@ -323,7 +330,8 @@ func (m *Memory) Alloc(n int) Addr {
 // AllocLines allocates n words starting on a cache-line boundary and pads
 // the allocation to whole lines, so the object shares its lines with
 // nothing else. Locks and other contended words use this to avoid
-// simulated false sharing.
+// simulated false sharing; placement policies leave it unchanged (the
+// object already owns its lines under any of them).
 func (m *Memory) AllocLines(n int) Addr {
 	if n <= 0 {
 		panic(fmt.Sprintf("mem: AllocLines(%d)", n))
@@ -332,11 +340,10 @@ func (m *Memory) AllocLines(n int) Addr {
 		m.NoteAlloc(a, n, true)
 		return a
 	}
-	padded := roundUpLine(n)
-	m.next = Addr(roundUpLine(int(m.next)))
-	a := m.next
-	m.grow(int(a) + padded)
-	m.next = a + Addr(padded)
+	if m.layout.PadLines != nil {
+		m.shadowPlaceLines(n)
+	}
+	a := m.bumpLines(n)
 	m.NoteAlloc(a, n, true)
 	return a
 }
@@ -399,6 +406,11 @@ type Snapshot struct {
 	maxWords int
 	free     FreeTable
 	owner    map[Addr]allocKind
+
+	layout   Layout
+	cursors  map[int]cursor
+	colorSeq int
+	shadow   Addr
 }
 
 // Words exposes the snapshot's word-array copy (tests compare snapshots to
@@ -415,6 +427,10 @@ func (m *Memory) Snapshot() *Snapshot {
 		maxWords: m.maxWords,
 		free:     m.free.clone(),
 		owner:    maps.Clone(m.owner),
+		layout:   m.layout.clone(),
+		cursors:  cloneCursors(m.cursors),
+		colorSeq: m.colorSeq,
+		shadow:   m.shadow,
 	}
 }
 
@@ -427,6 +443,10 @@ func (m *Memory) Restore(s *Snapshot) {
 	m.maxWords = s.maxWords
 	m.free = s.free.clone()
 	m.owner = maps.Clone(s.owner)
+	m.layout = s.layout.clone()
+	m.cursors = cloneCursors(s.cursors)
+	m.colorSeq = s.colorSeq
+	m.shadow = s.shadow
 }
 
 // FromSnapshot builds a new independent Memory from a snapshot.

@@ -9,25 +9,61 @@ import (
 
 // TestHeatByPrefix checks grouping of the conflict heatmap by label
 // prefix: lines labeled "s03/lock" and "s03/size" merge into group "s03",
-// labels without a '/' group under the full label, unlabeled lines group
-// under "", and ordering is by count descending then prefix ascending.
+// labels without a '/' group under the full label, unlabeled lines are
+// bucketed under "?" (never dropped — the auto-pad pass keys off this
+// grouping and must see hot anonymous lines), and ordering is by count
+// descending then prefix ascending.
 func TestHeatByPrefix(t *testing.T) {
-	p := &obs.Profile{Lines: []obs.LineHeat{
-		{Line: 1, Label: "s03/lock", LockLine: true, Count: 10},
-		{Line: 2, Label: "s03/size", Count: 5},
-		{Line: 3, Label: "s01/lock", LockLine: true, Count: 7},
-		{Line: 4, Label: "seq", Count: 7},
-		{Line: 5, Count: 2},
-	}}
-	got := p.HeatByPrefix()
-	want := []obs.PrefixHeat{
-		{Prefix: "s03", Count: 15, LockCount: 10},
-		{Prefix: "s01", Count: 7, LockCount: 7},
-		{Prefix: "seq", Count: 7},
-		{Prefix: "", Count: 2},
+	cases := []struct {
+		name  string
+		lines []obs.LineHeat
+		want  []obs.PrefixHeat
+	}{
+		{
+			name: "mixed labels",
+			lines: []obs.LineHeat{
+				{Line: 1, Label: "s03/lock", LockLine: true, Count: 10},
+				{Line: 2, Label: "s03/size", Count: 5},
+				{Line: 3, Label: "s01/lock", LockLine: true, Count: 7},
+				{Line: 4, Label: "seq", Count: 7},
+				{Line: 5, Count: 2},
+			},
+			want: []obs.PrefixHeat{
+				{Prefix: "s03", Count: 15, LockCount: 10},
+				{Prefix: "s01", Count: 7, LockCount: 7},
+				{Prefix: "seq", Count: 7},
+				{Prefix: "?", Count: 2},
+			},
+		},
+		{
+			name: "unlabeled lines merge into one ? bucket",
+			lines: []obs.LineHeat{
+				{Line: 9, Count: 4},
+				{Line: 2, Label: "a/x", Count: 3},
+				{Line: 7, Count: 4, LockLine: true},
+			},
+			want: []obs.PrefixHeat{
+				{Prefix: "?", Count: 8, LockCount: 4},
+				{Prefix: "a", Count: 3},
+			},
+		},
+		{
+			name: "unlabeled can dominate",
+			lines: []obs.LineHeat{
+				{Line: 1, Label: "hot", Count: 1},
+				{Line: 2, Count: 100},
+			},
+			want: []obs.PrefixHeat{
+				{Prefix: "?", Count: 100},
+				{Prefix: "hot", Count: 1},
+			},
+		},
 	}
-	if !reflect.DeepEqual(got, want) {
-		t.Errorf("HeatByPrefix = %+v, want %+v", got, want)
+	for _, c := range cases {
+		p := &obs.Profile{Lines: c.lines}
+		if got := p.HeatByPrefix(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: HeatByPrefix = %+v, want %+v", c.name, got, c.want)
+		}
 	}
 	if len((&obs.Profile{}).HeatByPrefix()) != 0 {
 		t.Error("empty profile should produce no groups")

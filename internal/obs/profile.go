@@ -228,6 +228,12 @@ func causeCount(cs []CauseCount, class string) uint64 {
 	return 0
 }
 
+// Cause returns the profile's abort count for one class (0 when the class
+// never fired).
+func (p *Profile) Cause(class Class) uint64 {
+	return causeCount(p.Causes, class.String())
+}
+
 // CauseSum sums the per-cause counts; the attribution invariant requires
 // it to equal TotalAborts.
 func (p *Profile) CauseSum() uint64 {
@@ -546,7 +552,9 @@ func (p *Profile) Text() string {
 // heatmaps.
 type PrefixHeat struct {
 	// Prefix is the label group: the text before the first '/', the
-	// whole label when it has no '/', or "" for unlabeled data lines.
+	// whole label when it has no '/', or "?" for unlabeled data lines —
+	// unlabeled heat is bucketed, never dropped, so a layout pass
+	// consuming the grouping cannot silently miss hot anonymous lines.
 	Prefix string `json:"prefix"`
 	// Count is the group's conflict aborts; LockCount is the subset on
 	// lines registered as lock infrastructure.
@@ -564,6 +572,9 @@ func (p *Profile) HeatByPrefix() []PrefixHeat {
 		prefix := l.Label
 		if i := strings.IndexByte(prefix, '/'); i >= 0 {
 			prefix = prefix[:i]
+		}
+		if prefix == "" {
+			prefix = "?"
 		}
 		g, ok := byPrefix[prefix]
 		if !ok {

@@ -72,6 +72,12 @@ type Config struct {
 	Quantum uint64
 	// MemWords is the initial size of simulated memory in 64-bit words.
 	MemWords int
+	// Layout selects the allocator's placement policy (packed, padded,
+	// colored, arena — see mem.Layout). The zero value is the packed
+	// baseline, byte-identical to the pre-placement allocator. Layout is
+	// part of the machine image: checkpoints carry it (inside the memory
+	// snapshot), so forked machines continue the exact layout.
+	Layout mem.Layout
 
 	// WriteSetLines is the hard write-set capacity: 512 lines models the
 	// 32 KB L1 the paper measures in Figure 2.1.
@@ -241,7 +247,7 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m := &Machine{
 		cfg: cfg,
-		Mem: mem.New(cfg.MemWords),
+		Mem: mem.NewWithLayout(cfg.MemWords, cfg.Layout),
 	}
 	if cfg.TraceRing > 0 {
 		m.ring = &traceRing{buf: make([]TraceEvent, cfg.TraceRing)}

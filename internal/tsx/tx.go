@@ -574,12 +574,14 @@ func (t *Thread) flushFreeCache() {
 // transactional store path, so that recycling a block whose lines are still
 // in some transaction's read set raises a proper conflict. Allocation is
 // served from a thread-local cache first (jemalloc-style), so blocks freed
-// by one thread are not immediately handed to another.
+// by one thread are not immediately handed to another. Fresh blocks land
+// where the machine's placement policy puts them; under the arena policy
+// the thread ID selects the arena.
 func (t *Thread) Alloc(n int) mem.Addr {
 	t.Step(allocCost)
 	a := t.cacheGet(n, false)
 	if a == mem.Nil {
-		a = t.m.Mem.Alloc(n)
+		a = t.m.Mem.AllocOwned(t.ID, n)
 	}
 	if t.tx != nil {
 		t.tx.allocs = append(t.tx.allocs, allocRec{a, n, false})

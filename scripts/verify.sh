@@ -45,3 +45,8 @@ go test -race -count=1 -timeout 300s ./internal/shard ./internal/traffic
 # CLI, checks the wall clock against the quick-tier record in
 # BENCH_shard.json (>2x fails), and leaves the tables out of the way.
 go run ./cmd/hle-bench -shard-bench /tmp/shard-bench.json -quick -shard-guard BENCH_shard.json > /dev/null
+# Placement sweep, quick tier: regenerates the ext-place figure (all four
+# placement policies plus the heatmap-driven auto-pad pass) through the
+# CLI and checks the wall clock against the quick-tier record in
+# BENCH_place.json (>2x fails).
+go run ./cmd/hle-bench -place-bench /tmp/place-bench.json -quick -place-guard BENCH_place.json > /dev/null

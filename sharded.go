@@ -1,6 +1,8 @@
 package hle
 
 import (
+	"fmt"
+
 	"hle/internal/shard"
 )
 
@@ -21,37 +23,57 @@ type ShardedStore struct {
 type shardCfg struct {
 	dcfg shard.DataConfig
 	scfg shard.StoreConfig
+	// schemeOpt names the scheme-selecting option already applied, so a
+	// second selector (WithShardScheme + WithShardSchemeName) panics as
+	// contradictory instead of silently last-writer-wins.
+	schemeOpt    string
+	placement    Placement
+	placementSet bool
 }
 
-// ShardOption configures Sharded.
-type ShardOption func(*shardCfg)
+func shardOption(name string, fn func(*shardCfg)) ShardOption {
+	return Option{name: name, targets: tSharded, shd: fn}
+}
+
+// setScheme installs a scheme maker, rejecting a second selector.
+func (c *shardCfg) setScheme(opt string, mk shard.SchemeMaker) {
+	if c.schemeOpt != "" {
+		panic("hle: Sharded: " + opt + " contradicts " + c.schemeOpt +
+			": at most one scheme selector per store")
+	}
+	c.schemeOpt = opt
+	c.scfg.MkScheme = mk
+}
 
 // WithShardHashTable backs each shard with a hash table of the given
 // bucket count (0 selects the default) instead of a red-black tree.
+// Applies to Sharded.
 func WithShardHashTable(buckets int) ShardOption {
-	return func(c *shardCfg) {
+	return shardOption("WithShardHashTable", func(c *shardCfg) {
 		c.dcfg.Backend = shard.HashTable
 		c.dcfg.Buckets = buckets
-	}
+	})
 }
 
 // WithShardHash overrides the key→shard routing hash. The default is a
 // splitmix finalizer; tests use identity hashes for exact placement.
+// Applies to Sharded.
 func WithShardHash(h func(key uint64) uint64) ShardOption {
-	return func(c *shardCfg) { c.dcfg.Hash = h }
+	return shardOption("WithShardHash", func(c *shardCfg) { c.dcfg.Hash = h })
 }
 
 // WithShardStripes sets the per-shard size-counter stripe count (each
 // stripe lives on its own cache line, so concurrent updates within a
-// shard do not serialize on one counter line).
+// shard do not serialize on one counter line). Applies to Sharded.
 func WithShardStripes(n int) ShardOption {
-	return func(c *shardCfg) { c.dcfg.SizeStripes = n }
+	return shardOption("WithShardStripes", func(c *shardCfg) { c.dcfg.SizeStripes = n })
 }
 
 // WithShardLock overrides each shard's main lock constructor (default
-// MCS, the paper's representative HLE-compatible fair lock).
+// MCS, the paper's representative HLE-compatible fair lock). Applies to
+// Sharded.
 func WithShardLock(mk func(t *Thread) Lock) ShardOption {
-	return func(c *shardCfg) { c.scfg.MkLock = mk }
+	return shardOption("WithShardLock", func(c *shardCfg) { c.scfg.MkLock = mk })
 }
 
 // WithShardScheme overrides each shard's scheme constructor. The maker
@@ -62,28 +84,44 @@ func WithShardLock(mk func(t *Thread) Lock) ShardOption {
 //	hle.Sharded(t, 16, hle.WithShardScheme(func(t *hle.Thread, main hle.Lock, si int) hle.Scheme {
 //		return hle.Adaptive(main, hle.WithSCM(hle.NewMCSLock(t)))
 //	}))
+//
+// Applies to Sharded; contradicts WithShardSchemeName.
 func WithShardScheme(mk func(t *Thread, main Lock, shard int) Scheme) ShardOption {
-	return func(c *shardCfg) { c.scfg.MkScheme = mk }
+	return shardOption("WithShardScheme", func(c *shardCfg) {
+		c.setScheme("WithShardScheme", mk)
+	})
 }
 
 // WithShardSchemeName selects each shard's scheme by harness name
 // (Standard, HLE, RTM-LE, HLE-SCM, Adaptive); unknown names panic at
-// construction.
+// construction. Applies to Sharded; contradicts WithShardScheme.
 func WithShardSchemeName(name string) ShardOption {
 	mk := shard.SchemeMakerByName(name)
 	if mk == nil {
 		panic("hle: Sharded: unknown scheme name " + name)
 	}
-	return func(c *shardCfg) { c.scfg.MkScheme = mk }
+	return shardOption("WithShardSchemeName", func(c *shardCfg) {
+		c.setScheme("WithShardSchemeName("+name+")", mk)
+	})
 }
 
 // Sharded builds an N-shard store on t's machine (call inside System.Init,
 // like every constructor). Default shape: red-black tree shards under MCS
-// locks with plain HLE per shard.
+// locks with plain HLE per shard. WithPlacement lays the store's
+// structures out under a placement policy for the duration of
+// construction, restoring the machine's policy afterwards.
 func Sharded(t *Thread, shards int, opts ...ShardOption) *ShardedStore {
+	if shards <= 0 {
+		panic(fmt.Sprintf("hle: Sharded: shard count must be positive, got %d", shards))
+	}
 	c := shardCfg{dcfg: shard.DataConfig{Shards: shards}}
 	for _, o := range opts {
-		o(&c)
+		o.use("Sharded", tSharded)
+		o.shd(&c)
+	}
+	if c.placementSet {
+		prev := t.Memory().SetPlacement(c.placement)
+		defer t.Memory().SetPlacement(prev)
 	}
 	d := shard.NewData(t, c.dcfg)
 	return &ShardedStore{data: d, st: shard.Bind(t, d, c.scfg)}
