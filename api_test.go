@@ -47,9 +47,27 @@ func TestOptionMisusePanics(t *testing.T) {
 		{"ZeroOption", func(th *hle.Thread) {
 			hle.Elide(hle.NewTTASLock(th), hle.Option{})
 		}},
+		// WithSubscription is an Elide-only option.
+		{"Removal+WithSubscription", func(th *hle.Thread) {
+			hle.Removal(hle.NewTTASLock(th), hle.WithSubscription(hle.Lazy))
+		}},
+		{"Adaptive+WithSubscription", func(th *hle.Thread) {
+			hle.Adaptive(hle.NewMCSLock(th), hle.WithSCM(hle.NewMCSLock(th)),
+				hle.WithSubscription(hle.Lazy))
+		}},
+		{"NewSystem+WithSubscription", func(th *hle.Thread) {
+			hle.NewSystem(2, hle.WithSubscription(hle.Lazy))
+		}},
+		{"WithSubscription+Unknown", func(th *hle.Thread) {
+			hle.WithSubscription(hle.Subscription(42))
+		}},
 		// Contradictory combinations within one constructor.
 		{"TuningWithoutSCM", func(th *hle.Thread) {
 			hle.Elide(hle.NewTTASLock(th), hle.WithSCMTuning(hle.SCMConfig{MaxRetries: 3}))
+		}},
+		{"LazySubscription+SCM", func(th *hle.Thread) {
+			hle.Elide(hle.NewTTASLock(th), hle.WithSCM(hle.NewMCSLock(th)),
+				hle.WithSubscription(hle.Lazy))
 		}},
 		{"RemovalSCM+MaxAttempts", func(th *hle.Thread) {
 			hle.Removal(hle.NewTTASLock(th), hle.WithSCM(hle.NewMCSLock(th)), hle.MaxAttempts(3))

@@ -61,6 +61,7 @@ func BenchmarkExtScaling(b *testing.B)                   { benchFigure(b, "ext-s
 func BenchmarkExtCSLength(b *testing.B)                  { benchFigure(b, "ext-cslen") }
 func BenchmarkExtSTAMP(b *testing.B)                     { benchFigure(b, "ext-stamp") }
 func BenchmarkExtChaos(b *testing.B)                     { benchFigure(b, "ext-chaos") }
+func BenchmarkExtLazy(b *testing.B)                      { benchFigure(b, "ext-lazy") }
 
 // BenchmarkFig5_4_STAMP runs one STAMP application per scheme pair per
 // iteration (the full 7×6×2 matrix lives behind `hle-bench -fig 5.4`),

@@ -54,7 +54,8 @@
 //     (chaos engines), WithHardwareExtension (Chapter 7),
 //     WithNestedElision, WithConfig;
 //   - scheme options (Elide / Removal / Adaptive): WithSCM,
-//     WithSCMTuning, Pessimistic, MaxAttempts, WithAdaptiveTuning;
+//     WithSCMTuning, Pessimistic, MaxAttempts, WithAdaptiveTuning,
+//     WithSubscription (Elide only);
 //   - sharded-store options (Sharded): WithShardHashTable, WithShardHash,
 //     WithShardStripes, WithShardLock, WithShardScheme,
 //     WithShardSchemeName, and WithPlacement again (one option, two
@@ -351,7 +352,22 @@ type schemeCfg struct {
 	maxAttempts int
 	adapt       AdaptiveConfig
 	adaptTuned  bool
+	sub         Subscription
 }
+
+// Subscription selects when an eliding transaction enters the elided lock
+// word into its read set (see WithSubscription).
+type Subscription = tsx.Subscription
+
+// The subscription modes. Eager is real Haswell HLE: the XACQUIRE read of
+// the lock word joins the read set immediately, so a pessimistic
+// acquisition anywhere in the transaction's lifetime aborts it. Lazy
+// defers that subscription to commit time, keeping the lock line out of
+// the transaction's footprint while it runs.
+const (
+	Eager = tsx.SubEager
+	Lazy  = tsx.SubLazy
+)
 
 // WithSCM adds software-assisted conflict management (Algorithm 3):
 // aborted threads serialize on aux — which the paper requires to be
@@ -384,6 +400,31 @@ func MaxAttempts(n int) Option {
 		func(c *schemeCfg) { c.maxAttempts = n })
 }
 
+// WithSubscription selects the elided lock word's subscription mode.
+// The default, Eager, is real Haswell behavior. Lazy defers the lock
+// subscription to commit time — the lock line stays out of the read set
+// while the critical section runs, so a brief pessimistic acquisition
+// that releases before the transaction commits no longer aborts it.
+//
+// Naive lazy subscription is famously unsafe (Dice, Harris, Kogan, Lev,
+// Marathe: a transaction can observe a pessimistic holder's partial
+// writes and still commit, or drain its write set over the holder's).
+// This implementation is the fixed pipeline: at commit the lock word is
+// subscribed and validated BEFORE the write set drains, and a
+// pessimistic acquisition landing inside the commit window aborts the
+// transaction. internal/explore model-checks both properties — the naive
+// variants exist there only, to reproduce the hazards.
+//
+// Applies to Elide (without WithSCM: SCM's auxiliary-lock protocol
+// subscribes eagerly by construction).
+func WithSubscription(s Subscription) Option {
+	if s != Eager && s != Lazy {
+		panic(fmt.Sprintf("hle: WithSubscription: unknown subscription mode %d", uint8(s)))
+	}
+	return schemeOption("WithSubscription", tElide,
+		func(c *schemeCfg) { c.sub = s })
+}
+
 // WithAdaptiveTuning sets explicit controller thresholds (windows,
 // hysteresis bands, probation backoff). Applies to Adaptive only; zero
 // fields keep the adapt defaults.
@@ -409,9 +450,16 @@ func applyOptions(constructor string, bit target, opts []Option) schemeCfg {
 // Elide wraps lock in Haswell-style hardware lock elision (Figure 1.1),
 // subject to the Chapter 3 avalanche effect under conflicts. WithSCM adds
 // the paper's software-assisted conflict management; WithSCMTuning sets
-// its knobs.
+// its knobs; WithSubscription(Lazy) defers the lock-word subscription to
+// commit time (fixed lazy-subscription pipeline).
 func Elide(lock Lock, opts ...Option) Scheme {
 	c := applyOptions("Elide", tElide, opts)
+	if c.sub == Lazy {
+		if c.aux != nil {
+			panic("hle: Elide: WithSubscription(Lazy) excludes WithSCM (the SCM protocol subscribes eagerly by construction)")
+		}
+		return core.NewHLELazy(lock)
+	}
 	if c.aux != nil {
 		return core.NewHLESCM(lock, c.aux, c.scm)
 	}

@@ -7,6 +7,8 @@ var AllSchemes = []string{
 	"HLE",
 	"HLE-HWExt",
 	"RTM-LE",
+	"HLE-lazy",
+	"RTM-LE-lazy",
 	"HLE-SCM",
 	"HLE-SCM-ideal",
 	"HLE-SCM-multi",
@@ -14,6 +16,12 @@ var AllSchemes = []string{
 	"Opt-SLR",
 	"Opt-SLR-SCM",
 }
+
+// The lazy schemes above are the FIXED lazy-subscription variants (both
+// Dice et al. fixes on): the battery proves them clean over every sweep
+// lock. Their naive counterparts ("HLE-lazy-naive", "RTM-LE-lazy-naive")
+// are deliberately unsafe hazard-reproduction configurations and are
+// never part of a zero-violation sweep.
 
 // SweepLocks are the lock algorithms of the acceptance sweep: the two
 // unmodifiable spin locks plus the paper's two adjusted (elision-safe,

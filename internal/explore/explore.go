@@ -119,6 +119,18 @@ type Config struct {
 	// forking at all.
 	ValidateForks bool
 
+	// OnlyKind, when non-empty, makes the search ignore violations of
+	// every other kind: the breadth-first order then yields the minimal
+	// counterexample OF THAT CLASS. Naive lazy subscription violates both
+	// serializability and consistency, but the serializability
+	// counterexample (a commit-window race, no pessimistic fallback
+	// needed) is strictly shallower, so an unfiltered search always
+	// reports it; OnlyKind="consistency" pins the deeper
+	// inconsistent-observation-under-a-held-lock hazard as its own
+	// class. Hazard-reproduction tests only — a clean configuration is
+	// clean for every value of OnlyKind.
+	OnlyKind string
+
 	// NoSleepSets disables sleep-set pruning; the cross-check tests use
 	// it to verify pruning does not lose states.
 	NoSleepSets bool

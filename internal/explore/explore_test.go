@@ -48,11 +48,18 @@ func TestDepthTwoOps(t *testing.T) {
 // release orphans a waiter (progress), and both lazy subscription and the
 // missing suspend-on-miss let a transaction commit against a concurrent
 // non-speculative critical section, losing an update (serializability).
+// The three lazy-pipeline mutants each disable one ingredient of the
+// fixed commit sequence and all lose an update the same way — committing
+// (or having already published, for drain-before-check) over a
+// pessimistic holder.
 func TestMutantsCaught(t *testing.T) {
 	wantKind := map[string]string{
-		MutantCLHBlindRelease: "progress",
-		MutantSCMLazy:         "serializability",
-		MutantHWExtNoSuspend:  "serializability",
+		MutantCLHBlindRelease:   "progress",
+		MutantSCMLazy:           "serializability",
+		MutantHWExtNoSuspend:    "serializability",
+		MutantLazySkipCheck:     "serializability",
+		MutantLazyDrainFirst:    "serializability",
+		MutantLazyNoWindowAbort: "serializability",
 	}
 	for _, cfg := range Mutants() {
 		first := Run(cfg)

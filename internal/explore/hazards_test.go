@@ -1,0 +1,153 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+// naiveLazyConfigs are the hazard-reproduction configurations: the naive
+// lazy-subscription variants (no commit-time lock check ordered before
+// the drain, no commit-window abort — both Dice et al. fixes off) on the
+// unmodified test-and-test-and-set lock.
+func naiveLazyConfigs() []Config {
+	return []Config{
+		{Scheme: "RTM-LE-lazy-naive", Lock: "TTAS", Threads: 2, Ops: 1},
+		{Scheme: "HLE-lazy-naive", Lock: "TTAS", Threads: 2, Ops: 1},
+	}
+}
+
+// TestNaiveLazyHazards reproduces the two hazard classes of naive lazy
+// subscription (Dice, Harris, Kogan, Lev, Marathe: "Hardware extensions
+// to make lazy subscription safe") as minimized counterexample schedules:
+//
+//	(a) consistency — a transaction keeps running while a pessimistic
+//	    lock holder is mid-critical-section, observes the holder's
+//	    partial writes (x updated, y not yet), and still commits.
+//	(b) serializability — a transaction already past its commit point
+//	    drains its write set over a concurrent update it never saw,
+//	    losing an operation.
+//
+// The serializability hazard has the shallower counterexample (a pure
+// commit-window race: the victim is doomed while parked at the commit
+// step and drains anyway — no pessimistic fallback needed), so the
+// unfiltered breadth-first search always reports it; OnlyKind pins the
+// deeper consistency hazard as a distinct second class. Both must be
+// found for both naive schemes — that is the ">= 2 distinct hazard
+// counterexamples" acceptance gate.
+func TestNaiveLazyHazards(t *testing.T) {
+	for _, base := range naiveLazyConfigs() {
+		kinds := map[string]bool{}
+		for _, only := range []string{"", "consistency"} {
+			cfg := base
+			cfg.OnlyKind = only
+			r := Run(cfg)
+			if r.Violation == nil {
+				t.Errorf("%s (OnlyKind=%q): naive lazy subscription produced no violation",
+					cfg.Label(), only)
+				continue
+			}
+			v := r.Violation
+			t.Logf("%s (OnlyKind=%q): %s", cfg.Label(), only, v.Error())
+			kinds[v.Kind] = true
+			if len(v.Schedule) == 0 || len(v.Schedule) > 48 {
+				t.Errorf("%s: counterexample schedule has %d decisions, want a minimal one",
+					cfg.Label(), len(v.Schedule))
+			}
+			if v.Failure == nil || v.Failure.Dump() == "" {
+				t.Errorf("%s: violation carries no diagnostic dump", cfg.Label())
+			}
+		}
+		if len(kinds) < 2 {
+			t.Errorf("%s: found %d distinct hazard classes %v, want 2 (serializability + consistency)",
+				base.Label(), len(kinds), kinds)
+		}
+		if !kinds["serializability"] {
+			t.Errorf("%s: hazard (b) — commit drain racing a concurrent update — not reproduced", base.Label())
+		}
+		if !kinds["consistency"] {
+			t.Errorf("%s: hazard (a) — inconsistent observation under a held lock — not reproduced", base.Label())
+		}
+	}
+}
+
+// TestLazyHazardGoldenSchedules pins the exact minimal counterexample for
+// each hazard class on the canonical configuration (RTM-LE-lazy-naive on
+// TTAS, 2x1). The breadth-first search is deterministic, so these are
+// goldens: a change means the reproduction — the heart of this checker —
+// changed, and the new schedule must be re-derived by hand before
+// updating. FormatSchedule prints the per-decision chosen thread.
+func TestLazyHazardGoldenSchedules(t *testing.T) {
+	golden := []struct {
+		name     string
+		onlyKind string
+		schedule string
+	}{
+		// Hazard (b): thread 0 runs its transaction up to the commit
+		// window; thread 1 runs its whole operation (its ticket fetch
+		// dooms thread 0's parked commit) and publishes; thread 0
+		// resumes and — without the commit-window abort — drains its
+		// stale write set over thread 1's update.
+		{"hazard-b-serializability", "serializability",
+			"0.0.0.0.0.0.0.0.0.1.1.1.1.1.1.1.1.1.1"},
+		// Hazard (a): thread 0 aborts, falls back to the pessimistic
+		// lock, and stops mid-critical-section between its two counter
+		// stores; thread 1's retry reads x new but y old (an impossible
+		// snapshot under eager subscription, which would have aborted at
+		// the lock acquisition) and — without the commit-time lock
+		// check — commits having observed it.
+		{"hazard-a-consistency", "consistency",
+			"0.0.1.1.1.1.1.1.1.1.0.0.0.1.0.0.0.0.0"},
+	}
+	for i, g := range golden {
+		t.Run(g.name, func(t *testing.T) {
+			cfg := Config{Scheme: "RTM-LE-lazy-naive", Lock: "TTAS", Threads: 2, Ops: 1,
+				OnlyKind: g.onlyKind}
+			r := Run(cfg)
+			if r.Violation == nil {
+				t.Fatalf("hazard not reproduced")
+			}
+			if r.Violation.Kind != g.onlyKind {
+				t.Fatalf("violation kind %q, want %q (detail: %s)",
+					r.Violation.Kind, g.onlyKind, r.Violation.Detail)
+			}
+			got := FormatSchedule(r.Violation.Schedule)
+			if got != golden[i].schedule {
+				t.Errorf("counterexample schedule changed:\n  got:  %s\n  want: %s\ndetail: %s",
+					got, golden[i].schedule, r.Violation.Detail)
+			}
+			// Log the full counterexample (schedule, classification, and
+			// the replay dump) so a -v run leaves a complete diagnostic
+			// record — CI archives this output as the hazard artifact.
+			t.Logf("%s: schedule %s\n%s\n%s", g.name, got, r.Violation.Error(),
+				r.Violation.Failure.Dump())
+		})
+	}
+}
+
+// TestFixedLazyBatteryClean proves both hardware fixes: the fixed lazy
+// variants (commit-time check ordered before the drain + commit-window
+// abort) run the identical configurations that break their naive
+// counterparts — the full sweep-lock battery — with zero violations of
+// any kind. The naive variants must NOT appear in AllSchemes: the
+// battery is a zero-violation sweep and the naive schemes exist to fail.
+func TestFixedLazyBatteryClean(t *testing.T) {
+	for _, s := range AllSchemes {
+		if strings.Contains(s, "naive") {
+			t.Fatalf("battery contains deliberately unsafe scheme %q", s)
+		}
+	}
+	for _, scheme := range []string{"HLE-lazy", "RTM-LE-lazy"} {
+		for _, lock := range SweepLocks {
+			cfg := Config{Scheme: scheme, Lock: lock, Threads: 2, Ops: 1}
+			r := Run(cfg)
+			t.Log(r.Line())
+			if r.Violation != nil {
+				t.Errorf("%s: fixed lazy variant violated: %s\n%s",
+					cfg.Label(), r.Violation.Error(), r.Violation.Failure.Dump())
+			}
+			if r.Schedules == 0 {
+				t.Errorf("%s: no complete schedule explored", cfg.Label())
+			}
+		}
+	}
+}

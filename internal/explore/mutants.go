@@ -29,6 +29,20 @@ const (
 	// its footprint mid-critical-section of a real lock holder and can
 	// commit an inconsistent snapshot — exactly the Lemma 1 property.
 	MutantHWExtNoSuspend = "hwext-no-suspend"
+	// MutantLazySkipCheck (tsx.Config.LazyNoCommitCheck) removes the
+	// fixed lazy-subscription pipeline's commit-time lock check entirely:
+	// the transaction never subscribes, so it can commit in the middle of
+	// a pessimistic holder's critical section.
+	MutantLazySkipCheck = "lazy-skip-commit-check"
+	// MutantLazyDrainFirst (tsx.Config.LazyNoCheckFirst) breaks the
+	// check's ordering against the write-set drain: validation runs after
+	// publication, so a failed check fires its abort too late — the
+	// published writes stand and the retry re-applies them.
+	MutantLazyDrainFirst = "lazy-drain-before-check"
+	// MutantLazyNoWindowAbort (tsx.Config.LazyNoWindowAbort) removes the
+	// commit-window abort: a pessimistic acquirer taking the lock between
+	// the (passed) check and the drain no longer aborts the commit.
+	MutantLazyNoWindowAbort = "lazy-no-window-abort"
 )
 
 // Mutants returns the seeded-fault configurations, each expected to fail
@@ -40,6 +54,9 @@ func Mutants() []Config {
 		{Scheme: "Standard", Lock: "AdjCLH", Threads: 2, Ops: 1, Mutant: MutantCLHBlindRelease},
 		{Scheme: "HLE-SCM", Lock: "TTAS", Threads: 2, Ops: 1, Mutant: MutantSCMLazy},
 		{Scheme: "HLE-HWExt", Lock: "TTAS", Threads: 2, Ops: 1, Mutant: MutantHWExtNoSuspend},
+		{Scheme: "RTM-LE-lazy", Lock: "TTAS", Threads: 2, Ops: 1, Mutant: MutantLazySkipCheck},
+		{Scheme: "RTM-LE-lazy", Lock: "TTAS", Threads: 2, Ops: 1, Mutant: MutantLazyDrainFirst},
+		{Scheme: "RTM-LE-lazy", Lock: "TTAS", Threads: 2, Ops: 1, Mutant: MutantLazyNoWindowAbort},
 	}
 }
 

@@ -235,9 +235,30 @@ func machineConfig(c *Config, ring bool) tsx.Config {
 	if c.Scheme == "HLE-SCM-ideal" {
 		mcfg.NestHLEInRTM = true
 	}
-	if c.Mutant == MutantHWExtNoSuspend {
+	switch c.Scheme {
+	case "HLE-lazy", "RTM-LE-lazy":
+		// Fixed lazy subscription: both Dice et al. fixes on. The scheme's
+		// Setup also selects the mode per thread; setting it machine-wide
+		// keeps the config self-describing.
+		mcfg = hwext.EnableLazyFixed(mcfg)
+	case "HLE-lazy-naive", "RTM-LE-lazy-naive":
+		// Naive lazy subscription: both fixes off — the hazard-reproduction
+		// configurations. Never part of the zero-violation battery.
+		mcfg = hwext.EnableLazyNaive(mcfg)
+	}
+	switch c.Mutant {
+	case MutantHWExtNoSuspend:
 		mcfg = hwext.EnableOn(mcfg)
 		mcfg.HWExtNoSuspend = true
+	case MutantLazySkipCheck:
+		mcfg = hwext.EnableLazyFixed(mcfg)
+		mcfg.LazyNoCommitCheck = true
+	case MutantLazyDrainFirst:
+		mcfg = hwext.EnableLazyFixed(mcfg)
+		mcfg.LazyNoCheckFirst = true
+	case MutantLazyNoWindowAbort:
+		mcfg = hwext.EnableLazyFixed(mcfg)
+		mcfg.LazyNoWindowAbort = true
 	}
 	return mcfg
 }
@@ -484,6 +505,12 @@ func assembleScheme(c *Config, main locks.Lock, aux []locks.Lock) core.Scheme {
 		return hwext.New(main)
 	case "RTM-LE":
 		return core.NewRTMLE(main)
+	case "HLE-lazy", "HLE-lazy-naive":
+		// The naive variant is the same scheme code on a machine whose
+		// LazyNo* flags disable the commit-pipeline fixes (machineConfig).
+		return core.NewHLELazy(main)
+	case "RTM-LE-lazy", "RTM-LE-lazy-naive":
+		return core.NewRTMLELazy(main)
 	case "HLE-SCM":
 		return core.NewHLESCM(main, aux[0], core.SCMConfig{})
 	case "HLE-SCM-ideal":
@@ -855,6 +882,12 @@ func (r *replayer) terminalChecks() {
 // what a scratch replay of that prefix would record.
 func (r *replayer) setViolation(kind, detail string) {
 	if r.vio != nil {
+		return
+	}
+	if r.cfg.OnlyKind != "" && kind != r.cfg.OnlyKind {
+		// Hazard-class filter: the search is hunting a specific violation
+		// kind; suppressing the others lets BFS dig past a shallower
+		// class to the minimal counterexample of the requested one.
 		return
 	}
 	f := &harness.Failure{

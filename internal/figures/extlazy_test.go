@@ -1,0 +1,96 @@
+package figures_test
+
+import (
+	"testing"
+
+	"hle/internal/figures"
+)
+
+// TestExtLazyCapacityAsymmetry is the ext-lazy acceptance criterion at
+// quick scale. The sweep must demonstrate the FORTH-style asymmetric
+// capacity story: at the tightest read cap (one line above the critical
+// section's data footprint) the eager mode's lock-line subscription
+// overflows the read set and it stops speculating, while the fixed lazy
+// mode — whose read set is one line smaller — keeps eliding; at a write
+// cap below the write footprint everyone serializes (the elided lock
+// word is never written, so lazy buys nothing on the write axis). Abort
+// attribution must separate the modes: commit-time subscription aborts
+// exist only under lazy, and safe modes lose no updates (LazySweep
+// itself panics otherwise; the naive mode's losses are reported, not
+// asserted — explore proves they are reachable).
+func TestExtLazyCapacityAsymmetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep at quick scale")
+	}
+	o := figures.Options{Quick: true, Seed: 1, Threads: 4}
+	bench, tables := figures.LazySweep(o)
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	if want := 3 * 2 * 2; len(bench.Points) != want { // modes x rcaps x wcaps (quick)
+		t.Fatalf("bench records %d points, want %d", len(bench.Points), want)
+	}
+
+	at := func(mode string, rcap, wcap int) *figures.LazyPoint {
+		for i := range bench.Points {
+			p := &bench.Points[i]
+			if p.Mode == mode && p.ReadCap == rcap && p.WriteCap == wcap {
+				return p
+			}
+		}
+		t.Fatalf("no point for %s r%d w%d", mode, rcap, wcap)
+		return nil
+	}
+	const tightRead, wideRead, tightWrite, wideWrite = 21, 32, 4, 8
+
+	// The asymmetry cell: read cap fits lazy's footprint exactly, eager's
+	// lock-line entry overflows it.
+	eagerTight := at("eager", tightRead, wideWrite)
+	fixedTight := at("lazy-fixed", tightRead, wideWrite)
+	if eagerTight.SpecFrac != 0 {
+		t.Errorf("eager at read cap %d speculated (frac %.3f), want full serialization (footprint+lock exceeds cap)",
+			tightRead, eagerTight.SpecFrac)
+	}
+	if eagerTight.CapRead == 0 {
+		t.Errorf("eager at read cap %d shows no read-capacity aborts", tightRead)
+	}
+	if fixedTight.SpecFrac == 0 {
+		t.Errorf("lazy-fixed at read cap %d did not speculate — the lock line should stay out of the read set",
+			tightRead)
+	}
+
+	// The write axis is mode-blind: below the write footprint everyone
+	// serializes with write-capacity aborts.
+	for _, mode := range []string{"eager", "lazy-fixed"} {
+		p := at(mode, wideRead, tightWrite)
+		if p.SpecFrac != 0 {
+			t.Errorf("%s at write cap %d speculated (frac %.3f), want full serialization",
+				mode, tightWrite, p.SpecFrac)
+		}
+		if p.CapWrite == 0 {
+			t.Errorf("%s at write cap %d shows no write-capacity aborts", mode, tightWrite)
+		}
+	}
+
+	// The generous cell: every mode speculates, and attribution separates
+	// them — subscription aborts are a lazy-commit phenomenon.
+	for _, mode := range []string{"eager", "lazy-naive", "lazy-fixed"} {
+		if p := at(mode, wideRead, wideWrite); p.SpecFrac == 0 {
+			t.Errorf("%s at generous caps never speculated", mode)
+		}
+	}
+	if p := at("eager", wideRead, wideWrite); p.Subscr != 0 {
+		t.Errorf("eager mode recorded %d subscription aborts, want 0", p.Subscr)
+	}
+	if p := at("lazy-fixed", wideRead, wideWrite); p.Subscr == 0 {
+		t.Errorf("lazy-fixed under contention recorded no commit-time subscription aborts")
+	}
+
+	// Safe modes lose nothing (the sweep panics otherwise; assert anyway
+	// so the record is checked end to end).
+	for _, p := range bench.Points {
+		if p.Mode != "lazy-naive" && p.Lost != 0 {
+			t.Errorf("%s r%d w%d lost %d updates", p.Mode, p.ReadCap, p.WriteCap, p.Lost)
+		}
+	}
+}

@@ -154,6 +154,7 @@ func All() []Figure {
 		{"ext-adapt", "Extension: adaptive per-lock controller vs static schemes across contention", ExtAdapt},
 		{"ext-shard", "Extension: sharded elided store under internet-shaped traffic (skew, storms, tenants)", ExtShard},
 		{"ext-place", "Extension: allocator placement policy ablation with heatmap-driven auto-pad", ExtPlace},
+		{"ext-lazy", "Extension: lazy lock subscription — eager vs naive vs fixed across capacity limits", ExtLazy},
 	}
 }
 

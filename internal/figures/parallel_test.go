@@ -43,9 +43,11 @@ func renderFigure(t *testing.T, id string, o figures.Options) string {
 // ext-place exercises the placement matrix: per-regime warm templates
 // (including the serially-derived auto-pad template), always-on profiles
 // feeding the attribution tables, and the two-phase STAMP grid whose
-// packed runs seed the auto-pad plans.
+// packed runs seed the auto-pad plans. ext-lazy exercises the
+// direct-drive subscription sweep: per-point machines, always-on
+// attribution, and per-point correctness accounting.
 func TestParallelismDoesNotChangeOutput(t *testing.T) {
-	for _, id := range []string{"3.1", "abl-spur", "ext-chaos", "ext-adapt", "ext-shard", "ext-place"} {
+	for _, id := range []string{"3.1", "abl-spur", "ext-chaos", "ext-adapt", "ext-shard", "ext-place", "ext-lazy"} {
 		o := tinyOpts()
 		o.Parallel = 1
 		seq := renderFigure(t, id, o)

@@ -287,6 +287,10 @@ func (s SchemeSpec) Build(t *tsx.Thread) core.Scheme {
 		return hwext.New(main)
 	case "RTM-LE":
 		return core.NewRTMLE(main)
+	case "HLE-lazy":
+		return core.NewHLELazy(main)
+	case "RTM-LE-lazy":
+		return core.NewRTMLELazy(main)
 	case "HLE-SCM":
 		return core.NewHLESCM(main, aux(), core.SCMConfig{})
 	case "HLE-SCM-ideal":

@@ -100,7 +100,11 @@ func (f *Feed) Abort(clock uint64, class Class) {
 	w := f.roll(clock)
 	w.Aborts++
 	switch class {
-	case ClassConflictLockLine:
+	case ClassConflictLockLine, ClassSubscription:
+		// A commit-time subscription failure is the lazy-subscription
+		// shape of a lock-line conflict: same root cause (a pessimistic
+		// holder), detected at commit instead of in-flight. Feed it to
+		// the adaptive controller through the same bucket.
 		w.LockLine++
 	case ClassConflictDataLine:
 		w.DataLine++
@@ -166,6 +170,8 @@ func ClassOf(cause tsx.Cause, lockLine, injected bool) Class {
 		return ClassHLERestore
 	case tsx.CauseNested:
 		return ClassNested
+	case tsx.CauseSubscription:
+		return ClassSubscription
 	}
 	return ClassSpurious // unreachable: finished aborts always have a cause
 }

@@ -62,9 +62,15 @@ const (
 	ClassHLERestore
 	// ClassNested is an unsupported nesting combination.
 	ClassNested
+	// ClassSubscription is a commit-time lock-subscription failure under
+	// lazy subscription (tsx.CauseSubscription): the deferred lock check
+	// found the lock held. The lazy-subscription trade visible in
+	// profiles is conflict-lock-line aborts turning into (fewer of)
+	// these.
+	ClassSubscription
 
 	// NumClasses is the number of abort classes.
-	NumClasses = int(ClassNested) + 1
+	NumClasses = int(ClassSubscription) + 1
 )
 
 var classNames = [NumClasses]string{
@@ -78,6 +84,7 @@ var classNames = [NumClasses]string{
 	"explicit",
 	"hle-restore",
 	"nested",
+	"subscription",
 }
 
 // String returns the class's stable name (used in JSON output).

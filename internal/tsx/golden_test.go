@@ -64,7 +64,7 @@ var goldenMachines = []struct {
 		// lock around a contended critical section, with conflict aborts,
 		// HLE re-issues, and per-begin spurious-abort draws.
 		name: "hle-ttas-counters",
-		want: 0xcbe38e3377bb9e74,
+		want: 0x04c2e2b231ec2834,
 		run: func(tt *testing.T) uint64 {
 			cfg := tsx.DefaultConfig(8)
 			cfg.Seed = 42
@@ -109,7 +109,7 @@ var goldenMachines = []struct {
 		// conflict dooming, abort costs, and the write buffer under
 		// repeated reset/reuse.
 		name: "rtm-hot-line",
-		want: 0x5f6de1899f2c1c6f,
+		want: 0xa6a31e361fc8782f,
 		run: func(tt *testing.T) uint64 {
 			cfg := tsx.DefaultConfig(8)
 			cfg.Seed = 7
@@ -155,7 +155,7 @@ var goldenMachines = []struct {
 		// that suspend on misses while the lock is held, exercising the
 		// hwext wait loop's clock advance.
 		name: "hwext-mcs",
-		want: 0x4e359735d6a2a9d1,
+		want: 0x366aa1122f049e91,
 		run: func(tt *testing.T) uint64 {
 			cfg := tsx.DefaultConfig(4)
 			cfg.Seed = 11

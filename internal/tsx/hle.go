@@ -63,7 +63,11 @@ func (t *Thread) xacquireStart(a mem.Addr, newVal uint64) (uint64, *txState) {
 	tx.elidedAddr = a
 	tx.elidedOld = old
 	tx.elidedVal = newVal
-	if !t.m.cfg.HWExt {
+	// Eager subscription: the lock line joins the read set here. Under
+	// the Chapter 7 extension the lock line is tracked separately, and
+	// under lazy subscription the entry is deferred to the commit
+	// pipeline (commitLazy) — the entire point of the mode.
+	if !t.m.cfg.HWExt && !t.LazySubscription() {
 		t.txTouchRead(tx, mem.LineOf(a))
 	}
 	return old, tx
@@ -79,6 +83,10 @@ func (t *Thread) xacquireNested(tx *txState, a mem.Addr, newVal uint64) uint64 {
 	tx.elidedAddr = a
 	tx.elidedOld = old
 	tx.elidedVal = newVal
+	// Nested elision always subscribes eagerly: its elision state ends at
+	// the XRELEASE (before the RTM commit), so there is no commit-time
+	// obligation to defer to. Lazy subscription applies to outer HLE and
+	// to RTM predicates registered via LazySubscribe.
 	if !t.m.cfg.HWExt {
 		t.txTouchRead(tx, mem.LineOf(a))
 	}

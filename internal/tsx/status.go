@@ -33,8 +33,13 @@ const (
 	CauseHLERestore
 	// CauseNested is an unsupported nesting combination.
 	CauseNested
+	// CauseSubscription is a commit-time lock-subscription failure under
+	// lazy subscription: the deferred lock check found the elided lock
+	// held (or the registered subscription predicate false), so the
+	// transaction must be discarded instead of published.
+	CauseSubscription
 
-	numCauses = int(CauseNested) + 1
+	numCauses = int(CauseSubscription) + 1
 )
 
 // String returns a short human-readable name for the cause.
@@ -58,6 +63,8 @@ func (c Cause) String() string {
 		return "hle-restore"
 	case CauseNested:
 		return "nested"
+	case CauseSubscription:
+		return "subscription"
 	}
 	return "unknown"
 }
@@ -85,7 +92,9 @@ type Status struct {
 func statusFor(tx *txState) Status {
 	st := Status{Cause: tx.abortCause, Code: tx.abortCode}
 	switch tx.abortCause {
-	case CauseConflict, CauseSpurious, CausePause, CauseExplicit:
+	case CauseConflict, CauseSpurious, CausePause, CauseExplicit, CauseSubscription:
+		// A subscription failure is transient like a conflict: the lock
+		// holder will release, so retrying speculatively is sensible.
 		st.MayRetry = true
 	}
 	if tx.abortCause == CauseConflict {

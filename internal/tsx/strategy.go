@@ -45,6 +45,9 @@ func (t *Thread) MixTxState(mix func(uint64)) {
 	if tx.hleOuter {
 		flags |= 4
 	}
+	if tx.lazyCheck != nil {
+		flags |= 8
+	}
 	mix(flags)
 	mix(uint64(tx.abortCause))
 	mix(uint64(tx.elidedAddr))

@@ -61,6 +61,25 @@ func DefaultCosts() CostModel {
 	}
 }
 
+// Subscription selects when an elided transaction's lock word enters its
+// read set (see Config.Subscription).
+type Subscription uint8
+
+const (
+	// SubEager subscribes at transaction begin (XACQUIRE semantics).
+	SubEager Subscription = iota
+	// SubLazy defers the subscription to commit time.
+	SubLazy
+)
+
+// String returns the mode's short name.
+func (s Subscription) String() string {
+	if s == SubLazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
 // Config describes the simulated machine and its TSX implementation.
 type Config struct {
 	// Procs is the number of simulated hardware threads (the paper's
@@ -110,6 +129,36 @@ type Config struct {
 	// exists solely as a seeded fault for the model checker's mutation
 	// tests (internal/explore); never set it in experiments.
 	HWExtNoSuspend bool
+
+	// Subscription selects when elided transactions subscribe to the
+	// lock word. SubEager (the zero value) is the paper's scheme and
+	// Haswell's HLE: the lock line joins the read set at XACQUIRE/begin.
+	// SubLazy defers the subscription to commit time, removing the lock
+	// line from the conflict footprint for the transaction's whole body —
+	// the lazy-subscription design whose safety Dice et al. analyze in
+	// "Hardware extensions to make lazy subscription safe". With no
+	// LazyNo* flag set, SubLazy models their FIXED hardware: the
+	// commit-time lock check is ordered before the write-set drain, and a
+	// lock-line write arriving during the commit window aborts the
+	// transaction. Threads may override the machine-wide mode via
+	// Thread.SetSubscription. See Thread.LazySubscribe for the RTM path.
+	Subscription Subscription
+	// LazyNoCheckFirst removes the first fix: the commit-time lock check
+	// runs AFTER the write-set drain, modeling hardware that validates
+	// the subscription as part of (rather than before) commit. The abort
+	// then fires too late — the published writes stand. Unsafe by
+	// construction; exists to reproduce the Dice et al. hazards in
+	// internal/explore. Never set it in experiments.
+	LazyNoCheckFirst bool
+	// LazyNoWindowAbort removes the second fix: a conflicting write
+	// (including a pessimistic acquirer taking the lock) that dooms the
+	// transaction during the commit window is ignored and the drain
+	// proceeds. Unsafe by construction; explore-only.
+	LazyNoWindowAbort bool
+	// LazyNoCommitCheck skips the commit-time lock subscription entirely
+	// (the transaction never subscribes at all). The most broken lazy
+	// variant; seeded-fault fodder for explore's mutation tests.
+	LazyNoCommitCheck bool
 	// CacheLines enables per-thread cache-locality cost modeling: each
 	// thread's accesses to lines outside its most-recent CacheLines
 	// lines pay Costs.Miss extra. Zero (the default) disables the model;
@@ -433,6 +482,15 @@ type Thread struct {
 	// critical section run under a really-held lock). Pure annotation
 	// for the profiling observer; the engine never reads it.
 	serial bool
+
+	// sub/subSet hold the thread's subscription-mode override
+	// (SetSubscription). When unset the machine's Config.Subscription
+	// applies. Per-thread so that scheme constructors — which know
+	// whether their lock elides — can select the mode without a
+	// machine-wide reconfiguration, letting eager and lazy schemes share
+	// one machine image (checkpoint forks, chaos soaks).
+	sub    Subscription
+	subSet bool
 
 	// Stats accumulates transaction outcomes for this thread.
 	Stats Stats

@@ -35,6 +35,11 @@ type txState struct {
 	elidedOld  uint64 // lock value before XACQUIRE; XRELEASE must restore it
 	elidedVal  uint64 // the value the elided store "wrote" (the illusion)
 
+	// lazyCheck is the deferred lock-subscription predicate registered by
+	// LazySubscribe under SubLazy, evaluated by the commit pipeline
+	// (commitLazy). Nil when no RTM subscription is pending.
+	lazyCheck func() bool
+
 	nest       int // flat nesting depth of RTM regions
 	accesses   int
 	spuriousAt int  // access index at which a spurious abort fires
@@ -80,6 +85,7 @@ func (tx *txState) reset() {
 	tx.elided = false
 	tx.hleOuter = false
 	tx.elidedAddr = mem.Nil
+	tx.lazyCheck = nil
 	tx.nest = 0
 	tx.accesses = 0
 	tx.evictDrawn = false
@@ -186,10 +192,21 @@ func (t *Thread) finishAbort() Status {
 
 // commit attempts to make the transaction's effects globally visible.
 // A doomed transaction aborts instead (unwinding via panic).
+//
+// The eager path below is windowless: from the doom check to the return
+// there are no scheduler yields before publication (the Commit cost is
+// charged after the transaction is closed), so commit is atomic with
+// respect to other simulated threads, as XEND is on hardware. A pending
+// lazy subscription routes through commitLazy instead, which deliberately
+// opens a commit window.
 func (t *Thread) commit() {
 	tx := t.tx
 	if tx.doomed {
 		t.abortNow(CauseConflict, 0)
+	}
+	if tx.lazyCheck != nil || (tx.elided && t.LazySubscription()) {
+		t.commitLazy(tx)
+		return
 	}
 	for _, a := range tx.writeOrder {
 		v, _ := tx.writeBuf.get(a)
@@ -424,8 +441,10 @@ func (t *Thread) Load(a mem.Addr) uint64 {
 		// HLE's illusion: the transaction sees the value its elided
 		// acquiring store "wrote". Under the Chapter 7 extension the
 		// lock line is not placed in the read set unless accessed as
-		// data, so this forwarding carries no conflict footprint.
-		if !t.m.cfg.HWExt {
+		// data, so this forwarding carries no conflict footprint; under
+		// lazy subscription the forwarding comes from the store buffer
+		// and the subscription stays deferred to commit.
+		if !t.m.cfg.HWExt && !t.LazySubscription() {
 			t.txTouchRead(tx, line)
 		}
 		return tx.elidedVal

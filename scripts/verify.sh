@@ -41,6 +41,16 @@ go run ./cmd/hle-bench -explore -quick -parallel 2 -explore-guard BENCH_explore.
 # store construction (Bind after a checkpoint fork) and the workload's
 # Go-side tables are shared across host workers by the parallel runner.
 go test -race -count=1 -timeout 300s ./internal/shard ./internal/traffic
+# Lazy lock subscription under the race detector: the ext-lazy sweep fans
+# per-point machines running the lazy commit pipeline (the one tsx commit
+# path that is NOT atomic — it yields mid-commit) across host workers, and
+# the chaos differential forks eager and fixed-lazy soaks from one shared
+# tree image. The naive-hazard reproductions themselves already run under
+# -race via the explore suite above. FuzzLazySubscription's corpus replay
+# (including the fuzzer-found duplicate-update witness) rides the lazy
+# test filter in internal/core.
+go test -race -count=1 -timeout 300s -run 'TestExtLazyCapacityAsymmetry' ./internal/figures
+go test -race -count=1 -timeout 300s -run 'Lazy' -short ./internal/core ./internal/chaos
 # Sharded sweep, quick tier: regenerates the ext-shard figure through the
 # CLI, checks the wall clock against the quick-tier record in
 # BENCH_shard.json (>2x fails), and leaves the tables out of the way.

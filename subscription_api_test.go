@@ -1,0 +1,53 @@
+package hle_test
+
+import (
+	"testing"
+
+	"hle"
+)
+
+// TestWithSubscription drives the lazy-subscription mode through the
+// public surface: Elide(lock, WithSubscription(Lazy)) must behave as a
+// correct eliding scheme (no lost updates, real speculation), and the
+// explicit Eager value must be the default scheme exactly.
+func TestWithSubscription(t *testing.T) {
+	run := func(sub hle.Subscription) (hle.Scheme, uint64) {
+		sys := hle.NewSystem(4, hle.WithSeed(17))
+		var counter hle.Addr
+		var scheme hle.Scheme
+		sys.Init(func(th *hle.Thread) {
+			counter = th.AllocLines(1)
+			scheme = hle.Elide(hle.NewTTASLock(th), hle.WithSubscription(sub))
+		})
+		sys.Parallel(4, func(th *hle.Thread) {
+			scheme.Setup(th)
+			for i := 0; i < 250; i++ {
+				scheme.Run(th, func() {
+					th.Store(counter, th.Load(counter)+1)
+				})
+			}
+		})
+		var got uint64
+		sys.Init(func(th *hle.Thread) { got = th.Load(counter) })
+		return scheme, got
+	}
+
+	lazy, got := run(hle.Lazy)
+	if got != 1000 {
+		t.Fatalf("lazy counter = %d, want 1000 (lost updates)", got)
+	}
+	if lazy.Name() != "HLE-lazy" {
+		t.Errorf("lazy scheme name %q, want HLE-lazy", lazy.Name())
+	}
+	if st := lazy.TotalStats(); st.Spec == 0 {
+		t.Errorf("lazy scheme never speculated")
+	}
+
+	eager, got := run(hle.Eager)
+	if got != 1000 {
+		t.Fatalf("eager counter = %d, want 1000", got)
+	}
+	if eager.Name() != "HLE" {
+		t.Errorf("explicit WithSubscription(Eager) built %q, want the default HLE", eager.Name())
+	}
+}
